@@ -1,0 +1,138 @@
+// Ablation bench for the §V protocol extensions DESIGN.md calls out:
+//
+//   1. Address borrowing (§V-A): with a deliberately tight pool, how many
+//      configurations succeed with and without QuorumSpace borrowing?
+//   2. Dynamic linear voting (§II-D): configuration success and latency
+//      under head churn, distinguished-copy tie-break on vs. strict
+//      majority.
+//   3. Replica floor (§V-B): min_qdset sweep — replication level vs. the
+//      maintenance overhead it costs and the QDSet size it buys.
+//
+// Like the figure benches, rounds are controlled by QIP_ROUNDS.
+#include <cstdio>
+
+#include "core/qip_engine.hpp"
+#include "harness/driver.hpp"
+#include "harness/figures.hpp"
+#include "harness/world.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace qip;
+
+namespace {
+
+struct Outcome {
+  double configured = 0.0;
+  double latency = 0.0;
+  double failures = 0.0;
+  double maintenance_hops = 0.0;
+  double qdset = 0.0;
+};
+
+Outcome run(const QipParams& qp, std::uint32_t nn, std::uint64_t seed,
+            double abrupt_head_ratio = 0.0) {
+  WorldParams wp;
+  wp.transmission_range = 150.0;
+  World world(wp, seed);
+  QipEngine proto(world.transport(), world.rng(), qp);
+  proto.start_hello();
+  Driver d(world, proto);
+  d.join(nn);
+  world.run_for(3.0);
+
+  if (abrupt_head_ratio > 0.0) {
+    // Kill a share of the cluster heads, then keep joining: the quorum
+    // machinery must keep configuring through the churn.
+    for (NodeId h : proto.clusters().heads()) {
+      if (world.rng().chance(abrupt_head_ratio)) d.depart_abrupt(h);
+    }
+    world.run_for(8.0);
+    d.join(nn / 5);
+    world.run_for(5.0);
+  }
+
+  Outcome out;
+  out.configured = d.configured_fraction();
+  out.latency = d.mean_config_latency();
+  out.failures = static_cast<double>(proto.config_failures());
+  out.maintenance_hops =
+      static_cast<double>(world.stats().of(Traffic::kMaintenance).hops);
+  out.qdset = proto.average_qdset_size();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t rounds = rounds_from_env(3);
+
+  // --- 1. Borrowing, under a pool squeezed to 1.6x the population --------
+  std::printf("== Ablation A: QuorumSpace borrowing (§V-A), pool=96, nn=60 "
+              "==\n");
+  {
+    TextTable t({"variant", "configured%", "failures", "latency"});
+    for (bool borrowing : {true, false}) {
+      RunningStats cfg, fail, lat;
+      for (std::uint32_t r = 0; r < rounds; ++r) {
+        QipParams qp;
+        qp.pool_size = 96;
+        qp.enable_borrowing = borrowing;
+        const Outcome o = run(qp, 60, 1000 + r);
+        cfg.add(100.0 * o.configured);
+        fail.add(o.failures);
+        lat.add(o.latency);
+      }
+      t.add_row({borrowing ? "borrowing on" : "borrowing off",
+                 format_double(cfg.mean(), 1), format_double(fail.mean(), 1),
+                 format_double(lat.mean(), 2)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  // --- 2. Dynamic linear voting under head churn -------------------------
+  std::printf("== Ablation B: dynamic linear voting (§II-D) under 40%% head "
+              "failure, nn=100 ==\n");
+  {
+    TextTable t({"variant", "configured%", "failures", "latency"});
+    for (bool dl : {true, false}) {
+      RunningStats cfg, fail, lat;
+      for (std::uint32_t r = 0; r < rounds; ++r) {
+        QipParams qp;
+        qp.dynamic_linear = dl;
+        const Outcome o = run(qp, 100, 2000 + r, /*abrupt_head_ratio=*/0.4);
+        cfg.add(100.0 * o.configured);
+        fail.add(o.failures);
+        lat.add(o.latency);
+      }
+      t.add_row({dl ? "dynamic linear" : "strict majority",
+                 format_double(cfg.mean(), 1), format_double(fail.mean(), 1),
+                 format_double(lat.mean(), 2)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  // --- 3. Replica floor sweep --------------------------------------------
+  std::printf("== Ablation C: replica floor min_qdset (§V-B), nn=100 ==\n");
+  {
+    TextTable t({"min_qdset", "avg |QDSet|", "maintenance hops",
+                 "configured%"});
+    for (std::uint32_t floor : {0u, 2u, 3u, 5u}) {
+      RunningStats qd, maint, cfg;
+      for (std::uint32_t r = 0; r < rounds; ++r) {
+        QipParams qp;
+        qp.min_qdset = floor;
+        const Outcome o = run(qp, 100, 3000 + r);
+        qd.add(o.qdset);
+        maint.add(o.maintenance_hops);
+        cfg.add(100.0 * o.configured);
+      }
+      t.add_row({format_double(floor, 0), format_double(qd.mean(), 2),
+                 format_double(maint.mean(), 0),
+                 format_double(cfg.mean(), 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+  std::printf("(rounds per cell: %u; set QIP_ROUNDS to raise)\n\n", rounds);
+  return 0;
+}

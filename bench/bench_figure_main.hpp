@@ -1,0 +1,26 @@
+// Shared main() skeleton for the figure-reproduction benches.
+//
+// Each bench binary regenerates one figure of the paper and prints the same
+// series the paper plots, as an aligned table.  QIP_ROUNDS in the
+// environment raises the number of rounds per data point (default is small
+// so the whole suite finishes in minutes; the paper used 1000).
+#pragma once
+
+#include <cstdio>
+
+#include "harness/figures.hpp"
+
+namespace qip::benchmain {
+
+inline int run(FigureData (*figure)(const ExperimentOptions&),
+               std::uint32_t default_rounds = 3) {
+  ExperimentOptions opt;
+  opt.rounds = rounds_from_env(default_rounds);
+  const FigureData fig = figure(opt);
+  std::printf("%s", fig.render().c_str());
+  std::printf("(rounds per point: %u; set QIP_ROUNDS to raise)\n\n",
+              opt.rounds);
+  return 0;
+}
+
+}  // namespace qip::benchmain

@@ -1,0 +1,18 @@
+// Regenerates Fig. 4 of Xu & Wu, ICDCS'07: a randomly generated network
+// layout (100 nodes, 1 km x 1 km) after clustering, as an ASCII map.
+#include <cstdio>
+
+#include "harness/figures.hpp"
+
+int main() {
+  const qip::LayoutStats layout = qip::fig4_layout(/*seed=*/7, 100, 150.0);
+  std::printf("== Fig 4: random 100-node layout (1km x 1km, tr=150m) ==\n");
+  std::printf("'#' = cluster head, 'o' = common node\n%s",
+              layout.ascii_map.c_str());
+  std::printf(
+      "nodes=%zu  cluster heads=%zu  mean cluster size=%.2f  mean "
+      "|QDSet|=%.2f\n\n",
+      layout.nodes, layout.heads, layout.mean_cluster_size,
+      layout.mean_qdset);
+  return 0;
+}

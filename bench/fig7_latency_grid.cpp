@@ -1,0 +1,4 @@
+// Regenerates fig7 of Xu & Wu, ICDCS'07 (see harness/figures.hpp).
+#include "bench_figure_main.hpp"
+
+int main() { return qip::benchmain::run(&qip::fig7_latency_grid); }

@@ -1,0 +1,4 @@
+// Regenerates fig8 of Xu & Wu, ICDCS'07 (see harness/figures.hpp).
+#include "bench_figure_main.hpp"
+
+int main() { return qip::benchmain::run(&qip::fig8_config_overhead); }

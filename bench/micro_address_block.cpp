@@ -1,0 +1,64 @@
+// Microbenchmarks for the AddressBlock interval set: the hot data structure
+// behind IPSpace/QuorumSpace bookkeeping.
+#include <benchmark/benchmark.h>
+
+#include "addr/address_block.hpp"
+#include "util/rng.hpp"
+
+using namespace qip;
+
+static void BM_BlockSplitHalf(benchmark::State& state) {
+  const auto size = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    AddressBlock block = AddressBlock::contiguous(kPoolBase, size);
+    while (block.size() >= 2) {
+      AddressBlock upper = block.split_half();
+      benchmark::DoNotOptimize(upper);
+      block = std::move(upper);
+    }
+  }
+}
+BENCHMARK(BM_BlockSplitHalf)->Arg(256)->Arg(1024)->Arg(4096);
+
+static void BM_BlockPopInsertChurn(benchmark::State& state) {
+  Rng rng(7);
+  AddressBlock block =
+      AddressBlock::contiguous(kPoolBase,
+                               static_cast<std::uint64_t>(state.range(0)));
+  std::vector<IpAddress> out;
+  for (auto _ : state) {
+    out.clear();
+    for (int i = 0; i < 64; ++i) out.push_back(block.pop_lowest());
+    rng.shuffle(out);
+    for (IpAddress a : out) block.insert(a);
+  }
+}
+BENCHMARK(BM_BlockPopInsertChurn)->Arg(1024);
+
+static void BM_BlockFragmentedContains(benchmark::State& state) {
+  // Every other address present: worst-case range count.
+  AddressBlock block;
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t i = 0; i < n; i += 2)
+    block.insert(IpAddress(kPoolBase.value() + i));
+  Rng rng(13);
+  for (auto _ : state) {
+    const IpAddress probe(kPoolBase.value() +
+                          static_cast<std::uint32_t>(rng.below(n)));
+    benchmark::DoNotOptimize(block.contains(probe));
+  }
+}
+BENCHMARK(BM_BlockFragmentedContains)->Arg(1024)->Arg(8192);
+
+static void BM_BlockMinus(benchmark::State& state) {
+  AddressBlock a = AddressBlock::contiguous(kPoolBase, 4096);
+  AddressBlock b;
+  for (std::uint32_t i = 0; i < 4096; i += 3)
+    b.insert(IpAddress(kPoolBase.value() + i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.minus(b));
+  }
+}
+BENCHMARK(BM_BlockMinus);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Microbenchmarks for the discrete-event core.
+#include <benchmark/benchmark.h>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+using namespace qip;
+
+static void BM_ScheduleDrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    Simulator sim;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.after(rng.uniform(0.0, 100.0), [&acc] { ++acc; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ScheduleDrain)->Arg(1024)->Arg(16384);
+
+static void BM_CancelHeavy(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    Simulator sim;
+    std::vector<EventHandle> handles;
+    handles.reserve(4096);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < 4096; ++i) {
+      handles.push_back(
+          sim.after(rng.uniform(0.0, 10.0), [&acc] { ++acc; }));
+    }
+    // Cancel three quarters.
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (i % 4 != 0) handles[i].cancel();
+    }
+    sim.run();
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_CancelHeavy);
+
+static void BM_TimerChain(benchmark::State& state) {
+  // Self-rescheduling timer: the hello/maintenance pattern.
+  for (auto _ : state) {
+    Simulator sim;
+    std::uint64_t ticks = 0;
+    std::function<void()> tick = [&] {
+      if (++ticks < 10000) sim.after(1.0, tick);
+    };
+    sim.after(1.0, tick);
+    sim.run();
+    benchmark::DoNotOptimize(ticks);
+  }
+}
+BENCHMARK(BM_TimerChain);
+
+BENCHMARK_MAIN();

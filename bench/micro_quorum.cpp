@@ -1,0 +1,51 @@
+// Microbenchmarks for quorum-system construction and intersection checking.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "quorum/dynamic_linear.hpp"
+#include "quorum/quorum_system.hpp"
+
+using namespace qip;
+
+static std::vector<std::uint32_t> universe(std::uint32_t n) {
+  std::vector<std::uint32_t> u(n);
+  std::iota(u.begin(), u.end(), 1u);
+  return u;
+}
+
+static void BM_MajorityConstruction(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QuorumSystem::majority(universe(n)));
+  }
+}
+BENCHMARK(BM_MajorityConstruction)->Arg(5)->Arg(9)->Arg(13);
+
+static void BM_PairwiseIntersection(benchmark::State& state) {
+  const auto qs = QuorumSystem::majority(
+      universe(static_cast<std::uint32_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qs.pairwise_intersecting());
+  }
+}
+BENCHMARK(BM_PairwiseIntersection)->Arg(7)->Arg(9);
+
+static void BM_CoversQuorum(benchmark::State& state) {
+  const auto qs = QuorumSystem::dynamic_linear(universe(8), 1);
+  const QuorumSet probe{1, 3, 5, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qs.covers_quorum(probe));
+  }
+}
+BENCHMARK(BM_CoversQuorum);
+
+static void BM_QuorumThreshold(benchmark::State& state) {
+  std::uint32_t g = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quorum_threshold(1 + (g++ % 16), (g & 1) != 0));
+  }
+}
+BENCHMARK(BM_QuorumThreshold);
+
+BENCHMARK_MAIN();

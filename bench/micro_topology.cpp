@@ -1,0 +1,66 @@
+// Microbenchmarks for the unit-disk topology: neighbor queries and BFS
+// routing dominate simulation time.
+#include <benchmark/benchmark.h>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+using namespace qip;
+
+namespace {
+
+Topology make_topology(std::uint32_t n, double range, Rng& rng) {
+  Topology topo(Rect{1000.0, 1000.0}, range);
+  for (std::uint32_t i = 0; i < n; ++i)
+    topo.add_node(i, topo.area().sample(rng));
+  return topo;
+}
+
+}  // namespace
+
+static void BM_Neighbors(benchmark::State& state) {
+  Rng rng(5);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Topology topo = make_topology(n, 150.0, rng);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.neighbors(i++ % n));
+  }
+}
+BENCHMARK(BM_Neighbors)->Arg(100)->Arg(200)->Arg(400);
+
+static void BM_HopDistance(benchmark::State& state) {
+  Rng rng(6);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Topology topo = make_topology(n, 150.0, rng);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.hop_distance(i % n, (i * 7 + 3) % n));
+    ++i;
+  }
+}
+BENCHMARK(BM_HopDistance)->Arg(100)->Arg(200);
+
+static void BM_Components(benchmark::State& state) {
+  Rng rng(7);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Topology topo = make_topology(n, 120.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.components());
+  }
+}
+BENCHMARK(BM_Components)->Arg(200);
+
+static void BM_KHopNeighbors(benchmark::State& state) {
+  Rng rng(8);
+  Topology topo = make_topology(200, 150.0, rng);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        topo.k_hop_neighbors(i++ % 200,
+                             static_cast<std::uint32_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_KHopNeighbors)->Arg(2)->Arg(3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Protocol face-off: runs all five implemented autoconfiguration protocols
+// (QIP and the four baselines of §III) through the same scenario and prints
+// a side-by-side comparison — a one-binary tour of the design space the
+// paper surveys.
+#include <cstdio>
+#include <memory>
+
+#include "baselines/boleng.hpp"
+#include "baselines/buddy.hpp"
+#include "baselines/ctree.hpp"
+#include "baselines/dad.hpp"
+#include "baselines/manetconf.hpp"
+#include "baselines/pdad.hpp"
+#include "baselines/weak_dad.hpp"
+#include "core/qip_engine.hpp"
+#include "harness/driver.hpp"
+#include "harness/world.hpp"
+#include "util/table.hpp"
+
+using namespace qip;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double configured = 0.0;
+  double latency = 0.0;
+  double config_hops = 0.0;
+  double upkeep_hops = 0.0;
+};
+
+template <typename MakeProto>
+Row run_scenario(const std::string& name, MakeProto&& make) {
+  WorldParams wp;
+  wp.transmission_range = 150.0;
+  World world(wp, /*seed=*/99);
+  auto proto = make(world);
+
+  DriverOptions dopt;
+  dopt.arrival_interval = 0.8;  // give slow protocols (DAD) room
+  Driver driver(world, *proto, dopt);
+
+  constexpr std::uint32_t kNodes = 80;
+  PhaseMeter meter(world.stats());
+  driver.join(kNodes);
+  world.run_for(3.0);
+  Row row;
+  row.name = name;
+  row.configured = driver.configured_fraction();
+  row.latency = driver.mean_config_latency();
+  row.config_hops =
+      static_cast<double>(meter.hops(Traffic::kConfiguration)) / kNodes;
+
+  meter.reset();
+  world.run_for(20.0);  // steady state: upkeep only
+  row.upkeep_hops = static_cast<double>(meter.protocol_hops()) / kNodes;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("80 nodes join a 1 km^2 field (tr=150m, 20 m/s), then 20 s of "
+              "steady state.\n\n");
+  std::vector<Row> rows;
+  rows.push_back(run_scenario("QIP (this paper)", [](World& w) {
+    auto p = std::make_unique<QipEngine>(w.transport(), w.rng(), QipParams{});
+    p->start_hello();
+    return p;
+  }));
+  rows.push_back(run_scenario("MANETconf [1]", [](World& w) {
+    return std::make_unique<ManetConf>(w.transport(), w.rng());
+  }));
+  rows.push_back(run_scenario("Buddy [2]", [](World& w) {
+    auto p = std::make_unique<BuddyProtocol>(w.transport(), w.rng());
+    p->start_sync();
+    return p;
+  }));
+  rows.push_back(run_scenario("C-tree [3]", [](World& w) {
+    auto p = std::make_unique<CTreeProtocol>(w.transport(), w.rng());
+    p->start_updates();
+    return p;
+  }));
+  rows.push_back(run_scenario("DAD [9]", [](World& w) {
+    return std::make_unique<DadProtocol>(w.transport(), w.rng());
+  }));
+  rows.push_back(run_scenario("WeakDAD [11]", [](World& w) {
+    auto p = std::make_unique<WeakDadProtocol>(w.transport(), w.rng());
+    p->start_updates();
+    return p;
+  }));
+  rows.push_back(run_scenario("PDAD [14]", [](World& w) {
+    auto p = std::make_unique<PdadProtocol>(w.transport(), w.rng());
+    p->start_routing();
+    return p;
+  }));
+  rows.push_back(run_scenario("Boleng [10]", [](World& w) {
+    auto p = std::make_unique<BolengProtocol>(w.transport(), w.rng());
+    p->start_beacons();
+    return p;
+  }));
+
+  TextTable table({"protocol", "configured%", "latency (hops)",
+                   "config hops/node", "upkeep hops/node/20s"});
+  for (const Row& r : rows) {
+    table.add_row({r.name, format_double(100.0 * r.configured, 1),
+                   format_double(r.latency, 2), format_double(r.config_hops, 1),
+                   format_double(r.upkeep_hops, 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "addr/allocation_table.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+const char* to_string(AddressStatus status) {
+  switch (status) {
+    case AddressStatus::kFree:
+      return "free";
+    case AddressStatus::kAllocated:
+      return "allocated";
+  }
+  return "?";
+}
+
+AddressRecord AllocationTable::get(IpAddress a) const {
+  auto it = records_.find(a);
+  if (it == records_.end()) return AddressRecord{};
+  return it->second;
+}
+
+AddressRecord AllocationTable::commit_allocate(IpAddress a,
+                                               std::uint32_t holder,
+                                               std::uint64_t min_timestamp) {
+  AddressRecord rec = get(a);
+  QIP_ASSERT_MSG(rec.status == AddressStatus::kFree || rec.holder == holder,
+                 "allocating " << a << " already held by node " << rec.holder);
+  rec.status = AddressStatus::kAllocated;
+  rec.holder = holder;
+  rec.timestamp = std::max(rec.timestamp, min_timestamp) + 1;
+  records_[a] = rec;
+  return rec;
+}
+
+AddressRecord AllocationTable::commit_free(IpAddress a,
+                                           std::uint64_t min_timestamp) {
+  AddressRecord rec = get(a);
+  rec.status = AddressStatus::kFree;
+  rec.holder = 0;
+  rec.timestamp = std::max(rec.timestamp, min_timestamp) + 1;
+  records_[a] = rec;
+  return rec;
+}
+
+bool AllocationTable::adopt_if_newer(IpAddress a, const AddressRecord& record) {
+  auto it = records_.find(a);
+  if (it == records_.end()) {
+    if (record == AddressRecord{}) return false;
+    records_.emplace(a, record);
+    return true;
+  }
+  if (record.timestamp > it->second.timestamp) {
+    it->second = record;
+    return true;
+  }
+  return false;
+}
+
+void AllocationTable::install(IpAddress a, const AddressRecord& record) {
+  records_[a] = record;
+}
+
+std::size_t AllocationTable::merge_newer(const AllocationTable& other) {
+  std::size_t adopted = 0;
+  for (const auto& [addr, rec] : other.records_) {
+    if (adopt_if_newer(addr, rec)) ++adopted;
+  }
+  return adopted;
+}
+
+std::uint64_t AllocationTable::allocated_count() const {
+  std::uint64_t n = 0;
+  for (const auto& [addr, rec] : records_)
+    if (rec.status == AddressStatus::kAllocated) ++n;
+  return n;
+}
+
+std::vector<IpAddress> AllocationTable::known_addresses() const {
+  std::vector<IpAddress> out;
+  out.reserve(records_.size());
+  for (const auto& [addr, rec] : records_) out.push_back(addr);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace qip

@@ -1,0 +1,80 @@
+// Timestamped per-address allocation state.
+//
+// Every copy of an address record carries a logical timestamp that starts at
+// zero and increments on each committed update (§II-C).  Quorum reads take
+// the record with the latest timestamp; replica stores adopt newer records
+// wholesale (last-writer-wins is safe because quorum intersection serializes
+// writers).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "addr/ip_address.hpp"
+
+namespace qip {
+
+enum class AddressStatus : std::uint8_t {
+  kFree = 0,      ///< available for allocation
+  kAllocated = 1, ///< bound to a configured node
+};
+
+const char* to_string(AddressStatus status);
+
+struct AddressRecord {
+  AddressStatus status = AddressStatus::kFree;
+  std::uint64_t timestamp = 0;
+  /// Simulator id of the node currently holding the address (meaningful only
+  /// when allocated).  This mirrors the paper's allocation table contents.
+  std::uint32_t holder = 0;
+
+  bool operator==(const AddressRecord&) const = default;
+};
+
+/// Sparse table: addresses without an entry are implicitly kFree at
+/// timestamp 0 (the initial state of every copy).
+class AllocationTable {
+ public:
+  /// Record for `a`, or the implicit initial record.
+  AddressRecord get(IpAddress a) const;
+
+  /// True if `a` has status kAllocated.
+  bool allocated(IpAddress a) const {
+    return get(a).status == AddressStatus::kAllocated;
+  }
+
+  /// Commits an allocation: bumps the timestamp past `min_timestamp` (the
+  /// freshest value seen in the quorum read) and returns the new record.
+  AddressRecord commit_allocate(IpAddress a, std::uint32_t holder,
+                                std::uint64_t min_timestamp);
+
+  /// Commits a release (address returned / reclaimed).
+  AddressRecord commit_free(IpAddress a, std::uint64_t min_timestamp);
+
+  /// Adopts `record` for `a` iff it is strictly newer than ours (replica
+  /// update path).  Returns true if adopted.
+  bool adopt_if_newer(IpAddress a, const AddressRecord& record);
+
+  /// Unconditionally installs a record (initial replica seeding).
+  void install(IpAddress a, const AddressRecord& record);
+
+  /// Adopts every record of `other` that is newer than ours (replica
+  /// reconciliation).  Returns how many records were adopted.
+  std::size_t merge_newer(const AllocationTable& other);
+
+  void erase(IpAddress a) { records_.erase(a); }
+  void clear() { records_.clear(); }
+
+  std::size_t entries() const { return records_.size(); }
+  std::uint64_t allocated_count() const;
+
+  /// All addresses with explicit records (test/inspection use).
+  std::vector<IpAddress> known_addresses() const;
+
+ private:
+  std::unordered_map<IpAddress, AddressRecord> records_;
+};
+
+}  // namespace qip

@@ -1,0 +1,24 @@
+#include "addr/ip_address.hpp"
+
+#include <ostream>
+
+namespace qip {
+
+std::string IpAddress::to_string() const {
+  std::string out;
+  out.reserve(15);
+  out += std::to_string((value_ >> 24) & 0xff);
+  out += '.';
+  out += std::to_string((value_ >> 16) & 0xff);
+  out += '.';
+  out += std::to_string((value_ >> 8) & 0xff);
+  out += '.';
+  out += std::to_string(value_ & 0xff);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, IpAddress addr) {
+  return os << addr.to_string();
+}
+
+}  // namespace qip

@@ -1,0 +1,52 @@
+// IPv4 address value type.
+//
+// The protocol only needs totally-ordered, densely-packed identifiers, so an
+// address is a thin wrapper over its 32-bit host-order integer value with
+// dotted-quad formatting for traces and examples.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace qip {
+
+class IpAddress {
+ public:
+  constexpr IpAddress() = default;
+  constexpr explicit IpAddress(std::uint32_t value) : value_(value) {}
+  constexpr IpAddress(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                      std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  /// Next / previous address in the space (wraps at the 32-bit boundary,
+  /// which the protocol never reaches: pools are tiny sub-ranges).
+  constexpr IpAddress next() const { return IpAddress(value_ + 1); }
+  constexpr IpAddress prev() const { return IpAddress(value_ - 1); }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(IpAddress a, IpAddress b) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, IpAddress addr);
+
+/// The conventional base of the simulation address pool (10.0.0.0/8 space).
+inline constexpr IpAddress kPoolBase{10, 0, 0, 0};
+
+}  // namespace qip
+
+template <>
+struct std::hash<qip::IpAddress> {
+  std::size_t operator()(qip::IpAddress a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,103 @@
+#include "baselines/dad.hpp"
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+DadProtocol::DadProtocol(Transport& transport, Rng& rng, DadParams params)
+    : AutoconfProtocol(transport, rng), params_(params) {}
+
+DadProtocol::~DadProtocol() {
+  for (auto& [id, st] : nodes_) st.timer.cancel();
+}
+
+DadProtocol::NodeState& DadProtocol::node(NodeId id) {
+  auto it = nodes_.find(id);
+  QIP_ASSERT_MSG(it != nodes_.end(), "unknown node " << id);
+  return it->second;
+}
+
+std::optional<IpAddress> DadProtocol::address_of(NodeId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || !it->second.configured) return std::nullopt;
+  return it->second.ip;
+}
+
+void DadProtocol::node_entered(NodeId id) {
+  auto [it, fresh] = nodes_.try_emplace(id);
+  if (!fresh) it->second = NodeState{};
+  auto& rec = record_for(id);
+  rec = ConfigRecord{};
+  rec.requested_at = sim().now();
+  pick_candidate(id);
+}
+
+void DadProtocol::pick_candidate(NodeId id) {
+  auto& st = node(id);
+  if (st.picks >= 8) {
+    auto& rec = record_for(id);
+    rec.success = false;
+    rec.attempts = st.picks;
+    rec.completed_at = sim().now();
+    return;
+  }
+  ++st.picks;
+  st.candidate = IpAddress(params_.pool_base.value() +
+                           static_cast<std::uint32_t>(
+                               rng().below(params_.pool_size)));
+  st.floods_done = 0;
+  st.conflicted = false;
+  areq_round(id);
+}
+
+void DadProtocol::areq_round(NodeId id) {
+  if (!alive(id) || !topology().has_node(id)) return;
+  auto& st = node(id);
+  if (st.configured) return;
+
+  if (st.conflicted) {
+    pick_candidate(id);
+    return;
+  }
+  if (st.floods_done >= params_.areq_retries) {
+    // Silence across all retries: the address is considered unique.
+    st.configured = true;
+    st.ip = st.candidate;
+    auto& rec = record_for(id);
+    rec.success = true;
+    rec.address = st.ip;
+    rec.latency_hops = st.hops;
+    rec.attempts = st.picks;
+    rec.completed_at = sim().now();
+    return;
+  }
+
+  ++st.floods_done;
+  // Flood AREQ; critical path grows by the flood's eccentricity (the
+  // requestor must wait long enough for the farthest possible reply).
+  const std::uint32_t ecc = topology().eccentricity(id);
+  st.hops += ecc > 0 ? 2ULL * ecc : 1ULL;
+  transport().flood_component(
+      id, Traffic::kConfiguration,
+      [this, id, candidate = st.candidate](NodeId n, std::uint32_t) {
+        if (!alive(n) || !alive(id)) return;
+        auto& ns = node(n);
+        if (!ns.configured || ns.ip != candidate) return;
+        // AREP: the holder defends its address.
+        transport().unicast(n, id, Traffic::kConfiguration,
+                            [this, id](NodeId, std::uint32_t) {
+                              if (!alive(id)) return;
+                              node(id).conflicted = true;
+                            });
+      });
+  st.timer = sim().after(params_.areq_wait, [this, id] { areq_round(id); });
+}
+
+void DadProtocol::node_left(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  it->second.timer.cancel();
+  nodes_.erase(it);
+}
+
+}  // namespace qip

@@ -1,0 +1,90 @@
+// MANETconf baseline (Nesargi & Prakash, INFOCOM'02) — reference [1].
+//
+// Fully replicated state: every configured node keeps the allocation table
+// of the whole network.  Configuring a newcomer requires an *initiator* to
+// flood an address query through the entire network and collect an
+// affirmative reply from every node before assigning, then flood the commit
+// so all tables stay identical.  This gives high availability at the price
+// of per-configuration global floods — the latency and overhead the paper's
+// Figures 5 and 6 compare against.
+//
+// Faithfulness notes:
+//   * the initiator is the nearest configured node to the requestor;
+//   * candidate address = lowest address the initiator believes free;
+//   * assignment completes only after ALL reachable configured nodes reply,
+//     so the critical path is request + flood out + slowest reply + assign;
+//   * graceful departure floods an address-release so every table shrinks;
+//   * abrupt departure leaves stale entries (MANETconf cleans them lazily,
+//     which we model as a permanent leak within one run).
+#pragma once
+
+#include <set>
+#include <unordered_map>
+
+#include "addr/ip_address.hpp"
+#include "net/protocol.hpp"
+
+namespace qip {
+
+struct ManetConfParams {
+  std::uint64_t pool_size = 1024;
+  IpAddress pool_base = kPoolBase;
+  /// Initiator-search broadcasts before self-configuring as the first node.
+  std::uint32_t max_r = 3;
+  SimTime retry_wait = 1.0;
+};
+
+class ManetConf : public AutoconfProtocol {
+ public:
+  ManetConf(Transport& transport, Rng& rng, ManetConfParams params = {});
+  ~ManetConf() override;
+
+  std::string name() const override { return "MANETconf"; }
+
+  void node_entered(NodeId id) override;
+  void node_departing(NodeId id) override;
+  void node_left(NodeId id) override;
+  void node_vanished(NodeId id) override;
+
+  std::optional<IpAddress> address_of(NodeId id) const override;
+
+  /// Size of a node's allocation table (full replication: ~network size).
+  std::size_t table_size(NodeId id) const;
+
+ private:
+  struct NodeState {
+    bool configured = false;
+    IpAddress ip{};
+    /// Full-replication allocation table: every address believed in use.
+    std::set<IpAddress> used;
+    std::uint32_t bootstrap_tries = 0;
+    EventHandle bootstrap_timer;
+  };
+
+  /// One in-flight configuration coordinated by its initiator.
+  struct Pending {
+    NodeId requestor = kNoNode;
+    NodeId initiator = kNoNode;
+    IpAddress candidate{};
+    std::uint32_t awaiting = 0;
+    bool vetoed = false;
+    std::uint64_t base_hops = 0;
+    std::uint64_t max_reply_hops = 0;
+    std::uint32_t attempt = 0;
+  };
+
+  NodeState& node(NodeId id);
+  bool alive(NodeId id) const { return nodes_.count(id) != 0; }
+  std::optional<NodeId> nearest_configured(NodeId id) const;
+  void bootstrap(NodeId id);
+  void initiate(NodeId initiator, NodeId requestor, std::uint64_t hops,
+                std::uint32_t attempt);
+  void conclude(std::uint64_t pending_id);
+
+  ManetConfParams params_;
+  std::unordered_map<NodeId, NodeState> nodes_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_pending_ = 1;
+};
+
+}  // namespace qip

@@ -1,0 +1,141 @@
+#include "cluster/cluster_view.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+const char* to_string(Role role) {
+  switch (role) {
+    case Role::kUnconfigured:
+      return "unconfigured";
+    case Role::kCommonNode:
+      return "common-node";
+    case Role::kClusterHead:
+      return "cluster-head";
+  }
+  return "?";
+}
+
+Role ClusterView::role(NodeId id) const {
+  auto it = roles_.find(id);
+  return it == roles_.end() ? Role::kUnconfigured : it->second;
+}
+
+void ClusterView::set_head(NodeId id) {
+  QIP_ASSERT_MSG(role(id) != Role::kClusterHead, "node " << id << " already a head");
+  // A common node promoted to head (partition recovery) leaves its cluster.
+  auto member_it = member_head_.find(id);
+  if (member_it != member_head_.end()) {
+    auto cluster_it = cluster_.find(member_it->second);
+    if (cluster_it != cluster_.end()) cluster_it->second.erase(id);
+    member_head_.erase(member_it);
+  }
+  roles_[id] = Role::kClusterHead;
+  heads_.insert(id);
+  cluster_.try_emplace(id);
+}
+
+void ClusterView::set_member(NodeId id, NodeId head) {
+  QIP_ASSERT_MSG(heads_.count(head), "configuring under non-head " << head);
+  QIP_ASSERT_MSG(role(id) != Role::kClusterHead,
+                 "head " << id << " cannot become a member");
+  roles_[id] = Role::kCommonNode;
+  member_head_[id] = head;
+  cluster_[head].insert(id);
+}
+
+void ClusterView::reassign_member(NodeId id, NodeId new_head) {
+  QIP_ASSERT(role(id) == Role::kCommonNode);
+  QIP_ASSERT(heads_.count(new_head));
+  auto it = member_head_.find(id);
+  if (it != member_head_.end()) {
+    auto cluster_it = cluster_.find(it->second);
+    if (cluster_it != cluster_.end()) cluster_it->second.erase(id);
+  }
+  member_head_[id] = new_head;
+  cluster_[new_head].insert(id);
+}
+
+void ClusterView::remove(NodeId id) {
+  const Role r = role(id);
+  if (r == Role::kClusterHead) {
+    // Members become orphaned (kept as common nodes with no head) until the
+    // protocol reassigns them.
+    auto cluster_it = cluster_.find(id);
+    if (cluster_it != cluster_.end()) {
+      for (NodeId member : cluster_it->second) member_head_.erase(member);
+      cluster_.erase(cluster_it);
+    }
+    heads_.erase(id);
+  } else if (r == Role::kCommonNode) {
+    auto it = member_head_.find(id);
+    if (it != member_head_.end()) {
+      auto cluster_it = cluster_.find(it->second);
+      if (cluster_it != cluster_.end()) cluster_it->second.erase(id);
+      member_head_.erase(it);
+    }
+  }
+  roles_.erase(id);
+}
+
+std::optional<NodeId> ClusterView::head_of(NodeId id) const {
+  if (is_head(id)) return id;
+  auto it = member_head_.find(id);
+  if (it == member_head_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<NodeId> ClusterView::members_of(NodeId head) const {
+  std::vector<NodeId> out;
+  auto it = cluster_.find(head);
+  if (it == cluster_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> ClusterView::heads() const {
+  std::vector<NodeId> out(heads_.begin(), heads_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> ClusterView::heads_within(NodeId id, std::uint32_t k) const {
+  std::vector<std::pair<std::uint32_t, NodeId>> found;
+  for (const auto& [node, dist] : topology_->k_hop_neighbors(id, k)) {
+    if (heads_.count(node)) found.emplace_back(dist, node);
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<NodeId> out;
+  out.reserve(found.size());
+  for (const auto& [dist, node] : found) out.push_back(node);
+  return out;
+}
+
+std::optional<NodeId> ClusterView::nearest_head(NodeId id) const {
+  auto dist = topology_->hop_distances_from(id);
+  std::optional<std::pair<std::uint32_t, NodeId>> best;
+  for (NodeId head : heads_) {
+    if (head == id) continue;
+    auto it = dist.find(head);
+    if (it == dist.end()) continue;
+    const std::pair<std::uint32_t, NodeId> cand{it->second, head};
+    if (!best || cand < *best) best = cand;
+  }
+  if (!best) return std::nullopt;
+  return best->second;
+}
+
+bool ClusterView::heads_nonadjacent() const {
+  for (NodeId head : heads_) {
+    if (!topology_->has_node(head)) continue;
+    for (NodeId n : topology_->neighbors(head)) {
+      if (heads_.count(n)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qip

@@ -1,0 +1,1097 @@
+// QipEngine: construction, node entry, configuration transactions, quorum
+// voting, and commit.  Departure, maintenance, and partition handling live
+// in their own translation units.
+#include "core/qip_engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "quorum/dynamic_linear.hpp"
+#include "util/logging.hpp"
+
+namespace qip {
+
+const char* to_string(QipMsg m) {
+  switch (m) {
+    case QipMsg::kHello: return "HELLO";
+    case QipMsg::kComReq: return "COM_REQ";
+    case QipMsg::kComCfg: return "COM_CFG";
+    case QipMsg::kComAck: return "COM_ACK";
+    case QipMsg::kChReq: return "CH_REQ";
+    case QipMsg::kChPrp: return "CH_PRP";
+    case QipMsg::kChCnf: return "CH_CNF";
+    case QipMsg::kChCfg: return "CH_CFG";
+    case QipMsg::kChAck: return "CH_ACK";
+    case QipMsg::kQuorumClt: return "QUORUM_CLT";
+    case QipMsg::kQuorumCfm: return "QUORUM_CFM";
+    case QipMsg::kQuorumUpd: return "QUORUM_UPD";
+    case QipMsg::kQuorumRel: return "QUORUM_REL";
+    case QipMsg::kQdJoin: return "QD_JOIN";
+    case QipMsg::kQdWelcome: return "QD_WELCOME";
+    case QipMsg::kUpdateLoc: return "UPDATE_LOC";
+    case QipMsg::kReturnAddr: return "RETURN_ADDR";
+    case QipMsg::kReturnAck: return "RETURN_ACK";
+    case QipMsg::kBlockReturn: return "BLOCK_RETURN";
+    case QipMsg::kResign: return "RESIGN";
+    case QipMsg::kAllocChange: return "ALLOC_CHANGE";
+    case QipMsg::kAddrRec: return "ADDR_REC";
+    case QipMsg::kRecRep: return "REC_REP";
+    case QipMsg::kRepReq: return "REP_REQ";
+    case QipMsg::kRepAck: return "REP_ACK";
+    case QipMsg::kReclaimDone: return "RECLAIM_DONE";
+    case QipMsg::kMergePoll: return "MERGE_POLL";
+  }
+  return "?";
+}
+
+QipEngine::QipEngine(Transport& transport, Rng& rng, QipParams params)
+    : AutoconfProtocol(transport, rng),
+      params_(params),
+      clusters_(transport.topology()) {
+  QIP_ASSERT(params_.pool_size >= 4);
+}
+
+QipEngine::~QipEngine() {
+  hello_timer_.cancel();
+  for (auto& [id, st] : nodes_) st.cancel_timers();
+  for (auto& [id, txn] : txns_) txn.retry_timer.cancel();
+  for (auto& [id, rec] : reclaims_) rec.settle_timer.cancel();
+}
+
+QipNodeState& QipEngine::node(NodeId id) {
+  auto it = nodes_.find(id);
+  QIP_ASSERT_MSG(it != nodes_.end(), "unknown node " << id);
+  return it->second;
+}
+
+const QipNodeState& QipEngine::node(NodeId id) const {
+  auto it = nodes_.find(id);
+  QIP_ASSERT_MSG(it != nodes_.end(), "unknown node " << id);
+  return it->second;
+}
+
+const QipNodeState& QipEngine::state_of(NodeId id) const { return node(id); }
+
+void QipEngine::trace(QipMsg msg, NodeId from, NodeId to, std::uint32_t hops,
+                      const std::string& detail) {
+  if (!trace_) return;
+  trace_(TraceEvent{sim().now(), msg, from, to, hops, detail});
+}
+
+bool QipEngine::send(NodeId from, NodeId to, QipMsg msg, Traffic traffic,
+                     std::uint64_t hops_base,
+                     std::function<void(std::uint64_t)> fn,
+                     const std::string& detail) {
+  auto hops = transport().unicast(
+      from, to, traffic,
+      [this, hops_base, fn = std::move(fn)](NodeId, std::uint32_t d) {
+        fn(hops_base + d);
+      });
+  if (!hops) return false;
+  trace(msg, from, to, *hops, detail);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Entry
+// ---------------------------------------------------------------------------
+
+void QipEngine::node_entered(NodeId id) {
+  QIP_ASSERT_MSG(topology().has_node(id), "node " << id << " not placed");
+  auto [it, fresh] = nodes_.try_emplace(id);
+  if (!fresh) {
+    // Re-entry (merge rejoin): reset to unconfigured, keep the slot.
+    it->second.cancel_timers();
+    it->second = QipNodeState{};
+    clusters_.remove(id);
+  }
+  auto& rec = record_for(id);
+  rec = ConfigRecord{};
+  rec.requested_at = sim().now();
+  start_configuration(id);
+}
+
+void QipEngine::start_configuration(NodeId id) {
+  if (!alive(id) || !topology().has_node(id)) return;
+  auto& st = node(id);
+  if (st.role != Role::kUnconfigured) return;
+  st.last_entry_attempt = sim().now();
+
+  // §IV-B: join as a common node when a head is within ch_radius hops; the
+  // entering node learns nearby heads from their periodic hello messages.
+  std::uint64_t extra_hops = 0;
+  if (auto allocator = choose_common_allocator(id, extra_hops)) {
+    const PendingRequest req{id, /*for_cluster_head=*/false, extra_hops};
+    if (send(id, *allocator, QipMsg::kComReq, Traffic::kConfiguration,
+             extra_hops,
+             [this, a = *allocator, req](std::uint64_t h) {
+               PendingRequest r = req;
+               r.hops_base = h;
+               enqueue_request(a, r);
+             })) {
+      return;
+    }
+  }
+
+  // No head within two hops: ask the nearest head anywhere for a block.
+  if (auto nearest = clusters_.nearest_head(id)) {
+    const PendingRequest req{id, /*for_cluster_head=*/true, 0};
+    if (send(id, *nearest, QipMsg::kChReq, Traffic::kConfiguration, 0,
+             [this, a = *nearest, req](std::uint64_t h) {
+               PendingRequest r = req;
+               r.hops_base = h;
+               enqueue_request(a, r);
+             })) {
+      return;
+    }
+  }
+
+  // No configured network reachable: bootstrap as the first node (§IV-B).
+  begin_bootstrap(id);
+}
+
+std::optional<NodeId> QipEngine::choose_common_allocator(
+    NodeId requestor, std::uint64_t& extra_hops) {
+  auto heads = clusters_.heads_within(requestor, params_.ch_radius);
+  std::erase_if(heads, [&](NodeId h) { return !alive(h); });
+  if (heads.empty()) return std::nullopt;
+  if (!params_.pick_largest_block || heads.size() == 1) {
+    return heads.front();  // nearest (heads_within sorts by distance)
+  }
+  // §IV-B alternative: poll each candidate for its available block size and
+  // pick the largest.  The poll costs one request/reply pair per candidate.
+  NodeId best = heads.front();
+  std::uint64_t best_size = 0;
+  std::uint64_t max_rtt = 0;
+  for (NodeId h : heads) {
+    const auto d = topology().hop_distance(requestor, h);
+    if (!d) continue;
+    transport().stats().record(Traffic::kConfiguration, 2ULL * *d, 2);
+    max_rtt = std::max<std::uint64_t>(max_rtt, 2ULL * *d);
+    const std::uint64_t size = node(h).visible_free();
+    if (size > best_size || (size == best_size && h < best)) {
+      best = h;
+      best_size = size;
+    }
+  }
+  extra_hops = max_rtt;  // polls run in parallel; slowest reply gates
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap (first node in an empty network)
+// ---------------------------------------------------------------------------
+
+void QipEngine::begin_bootstrap(NodeId id) {
+  auto& st = node(id);
+  st.bootstrap_tries = 0;
+  bootstrap_attempt(id);
+}
+
+void QipEngine::bootstrap_attempt(NodeId id) {
+  if (!alive(id) || !topology().has_node(id)) return;
+  auto& st = node(id);
+  if (st.role != Role::kUnconfigured) return;
+
+  // A head may have appeared (another bootstrapper won, or we moved into a
+  // configured network): fall back to normal configuration.
+  if (clusters_.nearest_head(id) ||
+      !clusters_.heads_within(id, params_.ch_radius).empty()) {
+    start_configuration(id);
+    return;
+  }
+
+  if (st.bootstrap_tries >= params_.max_r) {
+    become_first_head(id);
+    return;
+  }
+  ++st.bootstrap_tries;
+  // One broadcast transmission asking for a configured neighbor.
+  transport().stats().record(Traffic::kConfiguration, 1);
+  trace(QipMsg::kComReq, id, kNoNode, 1, "bootstrap broadcast");
+  st.bootstrap_timer =
+      sim().after(params_.te, [this, id] { bootstrap_attempt(id); });
+}
+
+void QipEngine::become_first_head(NodeId id) {
+  auto& st = node(id);
+  QIP_ASSERT(st.role == Role::kUnconfigured);
+  st.role = Role::kClusterHead;
+  st.owned_universe =
+      AddressBlock::contiguous(params_.pool_base, params_.pool_size);
+  st.ip_space = st.owned_universe;
+  const IpAddress self_ip = st.ip_space.pop_lowest();
+  st.ip = self_ip;
+  st.table.commit_allocate(self_ip, id, 0);
+  st.version = 1;
+  st.network_id = NetworkId{self_ip, rng().next()};
+  st.configurer = id;
+  clusters_.set_head(id);
+
+  auto& rec = record_for(id);
+  rec.success = true;
+  rec.address = self_ip;
+  rec.latency_hops = params_.max_r;  // the unanswered request broadcasts
+  rec.attempts = params_.max_r;
+  rec.completed_at = sim().now();
+  ++config_successes_;
+  QIP_DEBUG << "node " << id << " bootstrapped as first head with "
+            << st.owned_universe.size() << " addresses";
+}
+
+// ---------------------------------------------------------------------------
+// Request queueing (one transaction per allocator at a time)
+// ---------------------------------------------------------------------------
+
+void QipEngine::enqueue_request(NodeId allocator, PendingRequest req) {
+  if (!alive(allocator)) return;
+  auto& st = node(allocator);
+  if (st.role != Role::kClusterHead) {
+    // The chosen allocator demoted/dissolved meanwhile; let the requestor
+    // pick again.
+    if (alive(req.requestor)) {
+      sim().after(params_.busy_backoff,
+                  [this, r = req.requestor] { start_configuration(r); });
+    }
+    return;
+  }
+  st.pending.push_back(req);
+  pump_pending(allocator);
+}
+
+void QipEngine::pump_pending(NodeId allocator) {
+  if (!alive(allocator)) return;
+  auto& st = node(allocator);
+  if (st.active_txn != 0 || st.pending.empty()) return;
+  const PendingRequest req = st.pending.front();
+  st.pending.pop_front();
+  if (!alive(req.requestor) || !topology().has_node(req.requestor)) {
+    pump_pending(allocator);
+    return;
+  }
+  begin_txn(allocator, req);
+}
+
+void QipEngine::begin_txn(NodeId allocator, const PendingRequest& req) {
+  auto& st = node(allocator);
+  const std::uint64_t id = next_txn_++;
+  ConfigTxn txn;
+  txn.id = id;
+  txn.requestor = req.requestor;
+  txn.allocator = allocator;
+  txn.for_cluster_head = req.for_cluster_head;
+  txn.base_hops = req.hops_base;
+  st.active_txn = id;
+  auto [it, inserted] = txns_.emplace(id, std::move(txn));
+  QIP_ASSERT(inserted);
+  ConfigTxn& t = it->second;
+
+  // Overall transaction deadline: if the exchange wedges (requestor died
+  // mid-handshake, voters unreachable), fail and move on.
+  t.retry_timer = sim().after(params_.txn_timeout, [this, id] {
+    auto it = txns_.find(id);
+    if (it != txns_.end()) finish_config_failure(it->second);
+  });
+
+  bool blocked = false;
+  if (!propose_next(t, &blocked)) {
+    if (blocked) {
+      // A remote borrower holds our space; wait for its release rather than
+      // burning an agent hop or failing.  Re-queue at the front and retry
+      // after a backoff (lock releases also pump the queue).
+      t.retry_timer.cancel();
+      st.active_txn = 0;
+      txns_.erase(id);
+      st.pending.push_front(req);
+      sim().after(params_.busy_backoff,
+                  [this, allocator] { pump_pending(allocator); });
+      return;
+    }
+    if (!agent_forward(t)) finish_config_failure(t);
+    return;
+  }
+
+  if (t.for_cluster_head) {
+    // Table 1 handshake: CH_PRP down, CH_CNF back, then quorum collection.
+    const AddressBlock prp = t.proposed_block;
+    if (!send(allocator, t.requestor, QipMsg::kChPrp, Traffic::kConfiguration,
+              t.base_hops,
+              [this, id, allocator](std::uint64_t h1) {
+                auto it = txns_.find(id);
+                if (it == txns_.end()) return;
+                const NodeId requestor = it->second.requestor;
+                if (!send(requestor, allocator, QipMsg::kChCnf,
+                          Traffic::kConfiguration, h1,
+                          [this, id](std::uint64_t h2) {
+                            auto it2 = txns_.find(id);
+                            if (it2 == txns_.end()) return;
+                            it2->second.base_hops = h2;
+                            start_quorum_round(it2->second);
+                          })) {
+                  finish_config_failure(it->second);
+                }
+              },
+              prp.to_string())) {
+      finish_config_failure(t);
+    }
+    return;
+  }
+  start_quorum_round(t);
+}
+
+// ---------------------------------------------------------------------------
+// Proposal selection (IPSpace first, then QuorumSpace borrowing, §V-A)
+// ---------------------------------------------------------------------------
+
+bool QipEngine::propose_next(ConfigTxn& txn, bool* blocked_by_lock) {
+  auto& a = node(txn.allocator);
+  if (blocked_by_lock) *blocked_by_lock = false;
+  if (txn.attempt >= params_.max_config_attempts) return false;
+
+  auto self_lock_free = [&](NodeId owner) {
+    auto it = a.space_locks.find(owner);
+    const bool free =
+        it == a.space_locks.end() || it->second.txn_id == txn.id;
+    if (!free && blocked_by_lock) *blocked_by_lock = true;
+    return free;
+  };
+  auto take_self_lock = [&](NodeId owner) {
+    auto& lock = a.space_locks[owner];
+    lock.txn_id = txn.id;
+    lock.expiry.cancel();  // the allocator's own lock expires with the txn
+  };
+
+  if (txn.for_cluster_head) {
+    // A new head receives half the allocator's own IPSpace; blocks are never
+    // borrowed (§IV-B).
+    if (a.ip_space.size() < 2 || !self_lock_free(txn.allocator)) return false;
+    AddressBlock lower = a.ip_space;
+    txn.proposed_block = lower.split_half();
+    txn.owner = txn.allocator;
+    take_self_lock(txn.owner);
+    ++txn.attempt;
+    return true;
+  }
+
+  // Own IPSpace first.
+  if (!a.ip_space.empty() && self_lock_free(txn.allocator)) {
+    txn.proposed = a.ip_space.lowest();
+    txn.proposed_block = AddressBlock(txn.proposed, txn.proposed);
+    txn.owner = txn.allocator;
+    take_self_lock(txn.owner);
+    ++txn.attempt;
+    return true;
+  }
+
+  if (!params_.enable_borrowing) return false;
+
+  // Borrow from QuorumSpace: pick the replica with the largest free pool
+  // whose owner group is at least partly reachable.
+  NodeId best = kNoNode;
+  std::uint64_t best_size = 0;
+  for (const auto& [owner, rep] : a.replicas) {
+    if (rep.free_pool.empty() || !self_lock_free(owner)) continue;
+    if (rep.free_pool.size() > best_size) {
+      best = owner;
+      best_size = rep.free_pool.size();
+    }
+  }
+  if (best == kNoNode) return false;
+  const auto& rep = a.replicas.at(best);
+  txn.proposed = rep.free_pool.lowest();
+  txn.proposed_block = AddressBlock(txn.proposed, txn.proposed);
+  txn.owner = best;
+  take_self_lock(best);
+  ++txn.attempt;
+  return true;
+}
+
+bool QipEngine::agent_forward(ConfigTxn& txn) {
+  // §V-A: when even QuorumSpace is depleted, the head relays the request to
+  // its own configurer rather than starting a reclamation right away.
+  auto& a = node(txn.allocator);
+  const NodeId agent_target = a.configurer;
+  if (agent_target == kNoNode || agent_target == txn.allocator ||
+      !alive(agent_target) || !is_head(agent_target)) {
+    return false;
+  }
+  const PendingRequest req{txn.requestor, txn.for_cluster_head, txn.base_hops};
+  const QipMsg kind = txn.for_cluster_head ? QipMsg::kChReq : QipMsg::kComReq;
+  if (!send(txn.allocator, agent_target, kind, Traffic::kConfiguration,
+            txn.base_hops,
+            [this, agent_target, req](std::uint64_t h) {
+              PendingRequest r = req;
+              r.hops_base = h;
+              enqueue_request(agent_target, r);
+            },
+            "agent forward")) {
+    return false;
+  }
+  // Hand the transaction off: close ours without recording failure.
+  end_txn(txn);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Quorum rounds
+// ---------------------------------------------------------------------------
+
+void QipEngine::start_quorum_round(ConfigTxn& txn) {
+  auto& a = node(txn.allocator);
+  ++txn.round;
+  txn.confirms = 0;
+  txn.busy = 0;
+  txn.conflicts = 0;
+  txn.latest_ts = 0;
+  txn.voters.clear();
+
+  // The replica group for `owner`'s space: the owner plus its QDSet.  When
+  // the allocator owns the space that is its own QDSet; when borrowing, the
+  // group comes from the replica's owner_qdset snapshot.
+  std::set<NodeId> group;
+  if (txn.owner == txn.allocator) {
+    group = a.qdset;
+    group.insert(txn.allocator);
+  } else {
+    auto rep_it = a.replicas.find(txn.owner);
+    if (rep_it == a.replicas.end()) {
+      // The replica was dropped mid-transaction (reclamation / RESIGN):
+      // the borrowed proposal is void.
+      round_failed(txn, /*conflict=*/true);
+      return;
+    }
+    group = rep_it->second.owner_qdset;
+    group.insert(txn.owner);
+    group.insert(txn.allocator);  // we hold a copy too
+  }
+  txn.group_size = static_cast<std::uint32_t>(group.size());
+  txn.distinguished = *group.begin();  // lowest-id member (set is ordered)
+  txn.distinguished_ok = (txn.distinguished == txn.allocator);
+
+  // Our own copy always votes yes (the lock was taken in propose_next).
+  if (txn.owner == txn.allocator) {
+    // Latest local timestamp over the proposal.
+    for (const auto& r : txn.proposed_block.ranges()) {
+      for (std::uint32_t v = r.lo.value();; ++v) {
+        txn.latest_ts =
+            std::max(txn.latest_ts, a.table.get(IpAddress(v)).timestamp);
+        if (v == r.hi.value()) break;
+      }
+    }
+  } else {
+    txn.latest_ts = a.replicas.at(txn.owner).table.get(txn.proposed).timestamp;
+  }
+
+  for (NodeId v : group) {
+    if (v == txn.allocator) continue;
+    txn.voters.push_back(v);
+  }
+
+  txn.outstanding = 0;
+  const std::uint64_t id = txn.id;
+  const std::uint32_t round = txn.round;
+  for (NodeId v : txn.voters) {
+    if (!alive(v)) continue;
+    const AddressBlock proposal = txn.proposed_block;
+    if (send(txn.allocator, v, QipMsg::kQuorumClt, Traffic::kConfiguration,
+             txn.base_hops,
+             [this, v, alloc = txn.allocator, owner = txn.owner, id, round,
+              proposal](std::uint64_t h) {
+               handle_quorum_clt(v, alloc, owner, id, round, proposal, h);
+             },
+             txn.proposed_block.to_string())) {
+      ++txn.outstanding;
+    }
+  }
+
+  // Decide immediately if the quorum is already satisfied (single-head
+  // networks, tiny QDSets) or provably unreachable.
+  handle_vote(id, round, kNoNode, Vote::kGrant, 0, txn.base_hops);
+}
+
+std::uint32_t QipEngine::quorum_needed(const ConfigTxn& txn) const {
+  // Confirmations required *including our own copy's vote*.
+  if (!params_.dynamic_linear) return txn.group_size / 2 + 1;
+  return quorum_threshold(txn.group_size, txn.distinguished_ok);
+}
+
+void QipEngine::handle_quorum_clt(NodeId voter, NodeId allocator,
+                                  NodeId owner, std::uint64_t txn_id,
+                                  std::uint32_t round,
+                                  const AddressBlock& proposal,
+                                  std::uint64_t hops_so_far) {
+  if (!alive(voter)) return;
+  auto& v = node(voter);
+
+  Vote vote = Vote::kGrant;
+  std::uint64_t ts = 0;
+
+  // Find this voter's copy of the owner's space: its own authoritative state
+  // when it *is* the owner, else its replica.
+  const AddressBlock* free_pool = nullptr;
+  const AllocationTable* table = nullptr;
+  if (voter == owner) {
+    if (v.role == Role::kClusterHead) {
+      free_pool = &v.ip_space;
+      table = &v.table;
+    }
+  } else {
+    auto it = v.replicas.find(owner);
+    if (it != v.replicas.end()) {
+      free_pool = &it->second.free_pool;
+      table = &it->second.table;
+    }
+  }
+
+  if (free_pool == nullptr) {
+    // No copy: cannot vouch for the proposal.
+    vote = Vote::kConflict;
+  } else {
+    for (const auto& r : proposal.ranges()) {
+      for (std::uint32_t x = r.lo.value();; ++x) {
+        ts = std::max(ts, table->get(IpAddress(x)).timestamp);
+        if (x == r.hi.value()) break;
+      }
+    }
+    if (!free_pool->contains_all(proposal)) {
+      vote = Vote::kConflict;
+    } else {
+      auto lock = v.space_locks.find(owner);
+      if (lock != v.space_locks.end() && lock->second.txn_id != txn_id) {
+        vote = Vote::kBusy;
+      } else {
+        // Grant: lend this copy to the transaction until UPD/REL/expiry.
+        auto& l = v.space_locks[owner];
+        l.txn_id = txn_id;
+        l.expiry.cancel();
+        l.expiry = sim().after(params_.lock_timeout, [this, voter, owner,
+                                                      txn_id] {
+          if (!alive(voter)) return;
+          auto& st = node(voter);
+          auto it = st.space_locks.find(owner);
+          if (it != st.space_locks.end() && it->second.txn_id == txn_id) {
+            st.space_locks.erase(it);
+            pump_pending(voter);  // a waiting local transaction may resume
+          }
+        });
+      }
+    }
+  }
+
+  send(voter, allocator, QipMsg::kQuorumCfm, Traffic::kConfiguration,
+       hops_so_far,
+       [this, txn_id, round, voter, vote, ts](std::uint64_t h) {
+         handle_vote(txn_id, round, voter, vote, ts, h);
+       },
+       vote == Vote::kGrant ? "grant" : (vote == Vote::kBusy ? "busy"
+                                                             : "conflict"));
+}
+
+void QipEngine::handle_vote(std::uint64_t txn_id, std::uint32_t round,
+                            NodeId voter, Vote vote, std::uint64_t timestamp,
+                            std::uint64_t hops_so_far) {
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return;
+  ConfigTxn& txn = it->second;
+  if (round != txn.round) return;  // stale round
+
+  if (voter != kNoNode) {
+    QIP_ASSERT(txn.outstanding > 0);
+    --txn.outstanding;
+    switch (vote) {
+      case Vote::kGrant:
+        ++txn.confirms;
+        txn.granted.insert(voter);
+        txn.latest_ts = std::max(txn.latest_ts, timestamp);
+        if (voter == txn.distinguished) txn.distinguished_ok = true;
+        break;
+      case Vote::kBusy:
+        ++txn.busy;
+        break;
+      case Vote::kConflict:
+        ++txn.conflicts;
+        txn.latest_ts = std::max(txn.latest_ts, timestamp);
+        break;
+    }
+  }
+
+  const std::uint32_t yes = txn.confirms + 1;  // + our own copy
+  if (yes >= quorum_needed(txn)) {
+    txn.commit_hops = std::max(txn.base_hops, hops_so_far);
+    commit_config(txn);
+    return;
+  }
+  if (txn.outstanding == 0) {
+    round_failed(txn, txn.conflicts > 0);
+  }
+}
+
+void QipEngine::round_failed(ConfigTxn& txn, bool conflict) {
+  release_grants(txn);
+  auto& a = node(txn.allocator);
+
+  if (conflict) {
+    // The read found the proposal (partly) taken somewhere fresher: drop the
+    // proposal from our pools and try the next address.
+    if (!txn.for_cluster_head) {
+      if (txn.owner == txn.allocator) {
+        if (a.ip_space.contains(txn.proposed)) a.ip_space.erase(txn.proposed);
+      } else {
+        auto it = a.replicas.find(txn.owner);
+        if (it != a.replicas.end() &&
+            it->second.free_pool.contains(txn.proposed)) {
+          it->second.free_pool.erase(txn.proposed);
+        }
+      }
+    }
+    // Release our own lock on the owner's space before re-proposing.
+    auto lock = a.space_locks.find(txn.owner);
+    if (lock != a.space_locks.end() && lock->second.txn_id == txn.id)
+      a.space_locks.erase(lock);
+    if (propose_next(txn)) {
+      start_quorum_round(txn);
+      return;
+    }
+    if (agent_forward(txn)) return;
+    finish_config_failure(txn);
+    return;
+  }
+
+  // Contention or unreachable voters: back off and retry the same proposal;
+  // quorum adjustment (§V-B) may shrink the group meanwhile.
+  if (txn.busy_retries < params_.max_busy_retries) {
+    ++txn.busy_retries;
+    const std::uint64_t id = txn.id;
+    sim().after(params_.busy_backoff, [this, id] {
+      auto it = txns_.find(id);
+      if (it == txns_.end()) return;
+      if (!is_head(it->second.allocator)) {
+        finish_config_failure(it->second);  // allocator died mid-transaction
+        return;
+      }
+      start_quorum_round(it->second);
+    });
+    return;
+  }
+  finish_config_failure(txn);
+}
+
+void QipEngine::release_grants(ConfigTxn& txn) {
+  for (NodeId v : txn.granted) {
+    if (!alive(v)) continue;
+    const NodeId owner = txn.owner;
+    const std::uint64_t id = txn.id;
+    send(txn.allocator, v, QipMsg::kQuorumRel, Traffic::kConfiguration, 0,
+         [this, v, owner, id](std::uint64_t) {
+           if (!alive(v)) return;
+           auto& st = node(v);
+           auto it = st.space_locks.find(owner);
+           if (it != st.space_locks.end() && it->second.txn_id == id) {
+             it->second.expiry.cancel();
+             st.space_locks.erase(it);
+             pump_pending(v);
+           }
+         });
+  }
+  txn.granted.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------------
+
+void QipEngine::commit_config(ConfigTxn& txn) {
+  auto& a = node(txn.allocator);
+  const NodeId requestor = txn.requestor;
+  const NetworkId net_id = a.network_id;
+
+  if (txn.for_cluster_head) {
+    // Transfer the upper half of our IPSpace to the new head.  Re-validate
+    // at commit time: a voter-lock expiry can let state move under a slow
+    // round, in which case this is just a conflict and we re-propose.
+    QIP_ASSERT(txn.owner == txn.allocator);
+    if (!a.ip_space.contains_all(txn.proposed_block)) {
+      round_failed(txn, /*conflict=*/true);
+      return;
+    }
+    a.ip_space.erase_all(txn.proposed_block);
+    a.owned_universe.erase_all(txn.proposed_block);
+    ++a.version;
+    replicate_update(txn.allocator, txn.allocator, Traffic::kConfiguration,
+                     txn.id);
+    const AddressBlock block = txn.proposed_block;
+    const std::uint64_t hops = txn.commit_hops;
+    const std::uint32_t attempts = txn.attempt;
+    if (!send(txn.allocator, requestor, QipMsg::kChCfg,
+              Traffic::kConfiguration, hops,
+              [this, requestor, alloc = txn.allocator, block, net_id,
+               attempts](std::uint64_t h) {
+                complete_head(requestor, alloc, block, net_id, h, attempts);
+              },
+              block.to_string())) {
+      // Requestor unreachable at hand-over: the block stays with us.
+      a.ip_space.merge(block);
+      a.owned_universe.merge(block);
+      ++a.version;
+      replicate_update(txn.allocator, txn.allocator, Traffic::kConfiguration);
+    }
+    end_txn(txn);
+    return;
+  }
+
+  const IpAddress addr = txn.proposed;
+  if (txn.owner == txn.allocator) {
+    if (!a.ip_space.contains(addr)) {
+      round_failed(txn, /*conflict=*/true);  // state moved under the round
+      return;
+    }
+    a.table.commit_allocate(addr, requestor, txn.latest_ts);
+    a.ip_space.erase(addr);
+    ++a.version;
+    replicate_update(txn.allocator, txn.allocator, Traffic::kConfiguration,
+                     txn.id);
+  } else {
+    // Borrowed commit: update our replica, then propagate through the owner
+    // when reachable, else directly to the surviving replica group.
+    auto rep_it = a.replicas.find(txn.owner);
+    if (rep_it == a.replicas.end()) {
+      round_failed(txn, /*conflict=*/true);
+      return;
+    }
+    auto& rep = rep_it->second;
+    if (!rep.free_pool.contains(addr) || rep.table.allocated(addr)) {
+      round_failed(txn, /*conflict=*/true);
+      return;
+    }
+    const AddressRecord rec = rep.table.commit_allocate(addr, requestor,
+                                                        txn.latest_ts);
+    if (rep.free_pool.contains(addr)) rep.free_pool.erase(addr);
+    // Versions are minted by the owner only (they gate structural state —
+    // universe and QDSet); a holder-side commit travels via the record's
+    // timestamp, never by outbidding the owner's version.
+    const NodeId owner = txn.owner;
+    const std::uint64_t txn_id = txn.id;
+    bool via_owner = false;
+    if (alive(owner) && is_head(owner)) {
+      via_owner = send(
+          txn.allocator, owner, QipMsg::kQuorumUpd, Traffic::kConfiguration, 0,
+          [this, owner, addr, rec, requestor, txn_id](std::uint64_t) {
+            if (!is_head(owner)) return;
+            auto& o = node(owner);
+            o.table.adopt_if_newer(addr, rec);
+            if (o.ip_space.contains(addr) && o.table.allocated(addr))
+              o.ip_space.erase(addr);
+            auto lock = o.space_locks.find(owner);
+            if (lock != o.space_locks.end() && lock->second.txn_id == txn_id) {
+              lock->second.expiry.cancel();
+              o.space_locks.erase(lock);
+              pump_pending(owner);
+            }
+            replicate_update(owner, owner, Traffic::kConfiguration);
+          },
+          addr.to_string());
+    }
+    if (!via_owner) {
+      // Owner gone: push our replica snapshot to its surviving group.
+      replicate_update(txn.allocator, owner, Traffic::kConfiguration, txn.id);
+    }
+  }
+
+  const std::uint64_t hops = txn.commit_hops;
+  const std::uint32_t attempts = txn.attempt;
+  if (!send(txn.allocator, requestor, QipMsg::kComCfg, Traffic::kConfiguration,
+            hops,
+            [this, requestor, alloc = txn.allocator, addr, net_id,
+             attempts](std::uint64_t h) {
+              complete_common(requestor, alloc, addr, net_id, h, attempts);
+            },
+            addr.to_string())) {
+    // Requestor vanished before configuration: free the address again.
+    free_owned_address(txn.owner == txn.allocator ? txn.allocator : txn.owner,
+                       addr, Traffic::kConfiguration);
+  }
+  end_txn(txn);
+}
+
+void QipEngine::complete_common(NodeId id, NodeId allocator, IpAddress addr,
+                                NetworkId network_id, std::uint64_t total_hops,
+                                std::uint32_t attempts) {
+  if (!alive(id)) return;
+  auto& st = node(id);
+  if (st.role != Role::kUnconfigured) return;  // duplicate delivery guard
+  st.role = Role::kCommonNode;
+  st.ip = addr;
+  st.configurer = allocator;
+  st.administrator = kNoNode;
+  st.network_id = network_id;
+  if (clusters_.is_head(allocator)) clusters_.set_member(id, allocator);
+
+  auto& rec = record_for(id);
+  rec.success = true;
+  rec.address = addr;
+  rec.latency_hops = total_hops;
+  rec.attempts = attempts;
+  rec.completed_at = sim().now();
+  ++config_successes_;
+
+  send(id, allocator, QipMsg::kComAck, Traffic::kConfiguration, 0,
+       [](std::uint64_t) {});
+}
+
+void QipEngine::complete_head(NodeId id, NodeId allocator, AddressBlock block,
+                              NetworkId network_id, std::uint64_t total_hops,
+                              std::uint32_t attempts) {
+  if (!alive(id)) return;
+  auto& st = node(id);
+  if (st.role != Role::kUnconfigured) return;
+  st.role = Role::kClusterHead;
+  st.owned_universe = block;
+  st.ip_space = block;
+  const IpAddress self_ip = st.ip_space.pop_lowest();
+  st.ip = self_ip;
+  st.table.commit_allocate(self_ip, id, 0);
+  st.version = 1;
+  st.configurer = allocator;
+  st.network_id = network_id;
+  clusters_.set_head(id);
+
+  auto& rec = record_for(id);
+  rec.success = true;
+  rec.address = self_ip;
+  rec.latency_hops = total_hops;
+  rec.attempts = attempts;
+  rec.completed_at = sim().now();
+  ++config_successes_;
+
+  send(id, allocator, QipMsg::kChAck, Traffic::kConfiguration, 0,
+       [](std::uint64_t) {});
+
+  // Build the QDSet and distribute replicas (§IV-A, §V-B).
+  join_qdsets(id);
+}
+
+void QipEngine::join_qdsets(NodeId new_head) {
+  auto heads = clusters_.heads_within(new_head, params_.qdset_radius);
+  for (NodeId h : heads) {
+    if (!alive(h)) continue;
+    add_qdset_link(new_head, h, Traffic::kConfiguration);
+  }
+}
+
+void QipEngine::end_txn(ConfigTxn& txn) {
+  const std::uint64_t id = txn.id;
+  const NodeId allocator = txn.allocator;
+  txn.retry_timer.cancel();
+  if (alive(allocator)) {
+    auto& a = node(allocator);
+    if (a.active_txn == id) a.active_txn = 0;
+    // Drop any self locks still held by this transaction.
+    for (auto it = a.space_locks.begin(); it != a.space_locks.end();) {
+      if (it->second.txn_id == id) {
+        it->second.expiry.cancel();
+        it = a.space_locks.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  txns_.erase(id);
+  if (alive(allocator)) {
+    sim().after(0.0, [this, allocator] { pump_pending(allocator); });
+  }
+}
+
+void QipEngine::finish_config_failure(ConfigTxn& txn) {
+  release_grants(txn);
+  const NodeId requestor = txn.requestor;
+  ++config_failures_;
+  // A failing transaction only counts against a requestor that is still
+  // unconfigured — a duplicate request (retry racing the original) must not
+  // overwrite the successful record.
+  if (alive(requestor) &&
+      node(requestor).role == Role::kUnconfigured) {
+    auto& rec = record_for(requestor);
+    if (!rec.success) {
+      rec.attempts = txn.attempt;
+      rec.completed_at = sim().now();
+    }
+    // The requestor retries from scratch after a backoff (it may pick a
+    // different allocator by then).
+    auto& rs = node(requestor);
+    if (rs.entry_retries < params_.max_entry_retries) {
+      ++rs.entry_retries;
+      sim().after(params_.entry_retry_backoff,
+                  [this, requestor] { start_configuration(requestor); });
+    }
+  }
+  // An allocator that cannot satisfy requests even via QuorumSpace starts
+  // address reclamation for vanished heads it still holds replicas of
+  // (§IV-D: "or running out of IP addresses in both IPSpace and
+  // QuorumSpace").
+  if (alive(txn.allocator)) {
+    auto& a = node(txn.allocator);
+    if (a.visible_free() == 0) {
+      for (const auto& [owner, rep] : a.replicas) {
+        if (!alive(owner) && !reclaims_.count(owner)) {
+          start_reclamation(txn.allocator, owner);
+          break;
+        }
+      }
+    }
+  }
+  end_txn(txn);
+}
+
+// ---------------------------------------------------------------------------
+// Replica snapshots / write rounds
+// ---------------------------------------------------------------------------
+
+ReplicaCopy QipEngine::snapshot_space(NodeId source, NodeId owner) const {
+  const auto& s = node(source);
+  ReplicaCopy copy;
+  copy.owner = owner;
+  if (source == owner) {
+    copy.universe = s.owned_universe;
+    copy.free_pool = s.ip_space;
+    copy.table = s.table;
+    copy.version = s.version;
+    copy.owner_qdset = s.qdset;
+  } else {
+    copy = s.replicas.at(owner);
+  }
+  return copy;
+}
+
+void QipEngine::adopt_replica(NodeId holder, const ReplicaCopy& snapshot) {
+  if (!alive(holder)) return;
+  auto& h = node(holder);
+  if (h.role != Role::kClusterHead) return;
+
+  // Self-healing stewardship: if the arriving snapshot claims addresses we
+  // also believe we own (a reclamation raced the owner across a partition),
+  // both sides apply the same deterministic rule — newest record wins, ties
+  // go to the smaller id — so contact alone reconverges stewardship.
+  if (snapshot.owner != holder &&
+      !h.owned_universe.disjoint_with(snapshot.universe)) {
+    const AddressBlock overlap =
+        h.owned_universe.minus(h.owned_universe.minus(snapshot.universe));
+    for (const auto& r : overlap.ranges()) {
+      for (std::uint32_t v = r.lo.value();; ++v) {
+        const IpAddress addr(v);
+        const auto mine = h.table.get(addr);
+        const auto theirs = snapshot.table.get(addr);
+        const bool i_win = mine.timestamp > theirs.timestamp ||
+                           (mine.timestamp == theirs.timestamp &&
+                            holder < snapshot.owner);
+        if (!i_win) {
+          h.owned_universe.erase(addr);
+          if (h.ip_space.contains(addr)) h.ip_space.erase(addr);
+          h.table.erase(addr);
+          ++h.version;
+        }
+        if (v == r.hi.value()) break;
+      }
+    }
+  }
+
+  auto [it, fresh] = h.replicas.try_emplace(snapshot.owner, snapshot);
+  if (fresh) return;
+  ReplicaCopy& mine = it->second;
+  // Reconcile rather than replace: structural fields (universe, QDSet) come
+  // from the newer version, per-address records merge by timestamp so a
+  // stale snapshot can never roll back a committed allocation.
+  if (snapshot.version > mine.version) {
+    mine.universe = snapshot.universe;
+    mine.owner_qdset = snapshot.owner_qdset;
+    mine.version = snapshot.version;
+  }
+  mine.table.merge_newer(snapshot.table);
+  mine.free_pool = derive_free_pool(mine.universe, mine.table);
+}
+
+void QipEngine::replicate_update(NodeId source, NodeId owner, Traffic traffic,
+                                 std::uint64_t txn_id) {
+  if (!alive(source)) return;
+  const ReplicaCopy snapshot = snapshot_space(source, owner);
+  // Recipients: the owner's replica group as the source knows it.
+  std::set<NodeId> group = snapshot.owner_qdset;
+  if (source != owner && alive(owner)) group.insert(owner);
+  for (NodeId h : group) {
+    if (h == source || !alive(h)) continue;
+    send(source, h, QipMsg::kQuorumUpd, traffic, 0,
+         [this, h, snapshot, owner, txn_id](std::uint64_t) {
+           if (!alive(h)) return;
+           auto& st = node(h);
+           if (h == owner && st.role == Role::kClusterHead) {
+             // The owner itself reconciles the fresher view of its own
+             // space: structure from the newer version, records by
+             // timestamp (no wholesale replace, so its own committed
+             // updates survive).
+             if (snapshot.version > st.version) {
+               st.owned_universe = snapshot.universe;
+               st.version = snapshot.version;
+             }
+             st.table.merge_newer(snapshot.table);
+             st.ip_space = derive_free_pool(st.owned_universe, st.table);
+           } else {
+             adopt_replica(h, snapshot);
+           }
+           if (txn_id != 0) {
+             auto lock = st.space_locks.find(owner);
+             if (lock != st.space_locks.end() &&
+                 lock->second.txn_id == txn_id) {
+               lock->second.expiry.cancel();
+               st.space_locks.erase(lock);
+               pump_pending(h);
+             }
+           }
+         });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+double QipEngine::average_qdset_size() const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const auto& [id, st] : nodes_) {
+    if (st.role != Role::kClusterHead) continue;
+    sum += static_cast<double>(st.qdset.size());
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double QipEngine::average_visible_space() const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const auto& [id, st] : nodes_) {
+    if (st.role != Role::kClusterHead) continue;
+    sum += static_cast<double>(st.visible_free());
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double QipEngine::average_own_space() const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const auto& [id, st] : nodes_) {
+    if (st.role != Role::kClusterHead) continue;
+    sum += static_cast<double>(st.ip_space.size());
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::map<NodeId, IpAddress> QipEngine::configured_addresses() const {
+  std::map<NodeId, IpAddress> out;
+  for (const auto& [id, st] : nodes_) {
+    if (st.ip) out.emplace(id, *st.ip);
+  }
+  return out;
+}
+
+}  // namespace qip

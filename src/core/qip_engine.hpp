@@ -1,0 +1,221 @@
+// The quorum-based autoconfiguration protocol (the paper's contribution).
+//
+// QipEngine implements AutoconfProtocol with the full §IV/§V machinery:
+//
+//   * on-entry clustering — a node with a head within ch_radius hops joins
+//     as a common node, otherwise it is configured as a new cluster head
+//     with half of its allocator's IPSpace;
+//   * quorum voting — every allocation runs a read round (QUORUM_CLT /
+//     QUORUM_CFM) over the owning head's replica group and a write round
+//     (QUORUM_UPD) after commit.  Votes are *permissions* (mutual exclusion,
+//     §II-C): a voter lends its copy of a space to one transaction at a
+//     time, so two allocators can never commit the same address.  Dynamic
+//     linear voting (§II-D) accepts an exactly-half quorum that includes
+//     the distinguished copy — held by the group's lowest-id member, one
+//     deterministic rule shared with view changes and reclamation (see
+//     qip_types.hpp and DESIGN.md §6.2);
+//   * address borrowing from QuorumSpace when IPSpace is exhausted, and
+//     agent forwarding to the configurer when everything is exhausted (§V-A);
+//   * movement: periodic UPDATE_LOC beyond update_threshold hops, or the
+//     upon-leave update scheme (§IV-C);
+//   * graceful departure for common nodes (RETURN_ADDR routed back to the
+//     allocator) and cluster heads (block return to the configurer or the
+//     smallest-block QDSet member, RESIGN, ALLOC_CHANGE to members);
+//   * quorum adjustment (T_d shrink, REP_REQ probe, T_r, replica regrowth
+//     below min_qdset, §V-B) and address reclamation (ADDR_REC flood,
+//     REC_REP claims, §IV-D);
+//   * partition & merge: network ids (lowest IP), isolated-head recovery,
+//     and one-by-one rejoin of the larger-id network after a merge (§V-C).
+//
+// The engine is a deterministic event-driven coordinator: every inter-node
+// interaction flows through the metered Transport, and a node's handlers
+// touch only that node's own QipNodeState.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster_view.hpp"
+#include "core/qip_node.hpp"
+#include "core/qip_params.hpp"
+#include "core/qip_types.hpp"
+#include "net/protocol.hpp"
+
+namespace qip {
+
+class QipEngine : public AutoconfProtocol {
+ public:
+  QipEngine(Transport& transport, Rng& rng, QipParams params = {});
+  ~QipEngine() override;
+
+  std::string name() const override { return "QIP"; }
+
+  // -- AutoconfProtocol ----------------------------------------------------
+  void node_entered(NodeId id) override;
+  void node_departing(NodeId id) override;
+  void node_left(NodeId id) override;
+  void node_vanished(NodeId id) override;
+  void on_mobility_tick() override;
+
+  // -- Introspection (tests, figures) --------------------------------------
+  const QipParams& params() const { return params_; }
+  const ClusterView& clusters() const { return clusters_; }
+  bool knows(NodeId id) const { return nodes_.count(id) != 0; }
+  const QipNodeState& state_of(NodeId id) const;
+
+  /// Average |QDSet| over current cluster heads (Fig. 12 input).
+  double average_qdset_size() const;
+  /// Average visible IP space (own + QuorumSpace) per head, in addresses
+  /// (§V-A's "extends the IP space of a cluster head by up to 5.5 times").
+  double average_visible_space() const;
+  /// Average own IPSpace per head.
+  double average_own_space() const;
+
+  std::uint64_t config_failures() const { return config_failures_; }
+  std::uint64_t config_successes() const { return config_successes_; }
+  std::uint64_t reclaims_started() const { return reclaims_started_; }
+  std::uint64_t reclaims_completed() const { return reclaims_completed_; }
+  std::uint64_t merges_handled() const { return merges_handled_; }
+
+  /// Runs the hello/maintenance scan once (normally driven by the periodic
+  /// hello timer; exposed for tests).
+  void hello_tick();
+
+  /// Starts/stops the periodic hello timer.
+  void start_hello();
+  void stop_hello();
+
+  /// Installs a trace sink receiving every protocol message (Table 1).
+  void set_trace(TraceSink sink) { trace_ = std::move(sink); }
+
+  /// All configured addresses: node -> address (sorted for determinism).
+  std::map<NodeId, IpAddress> configured_addresses() const;
+
+ private:
+  // ---- helpers -----------------------------------------------------------
+  QipNodeState& node(NodeId id);
+  const QipNodeState& node(NodeId id) const;
+  bool alive(NodeId id) const { return nodes_.count(id) != 0; }
+  bool is_head(NodeId id) const {
+    return alive(id) && nodes_.at(id).role == Role::kClusterHead;
+  }
+
+  void trace(QipMsg msg, NodeId from, NodeId to, std::uint32_t hops,
+             const std::string& detail = "");
+
+  /// Metered unicast carrying cumulative critical-path hops; returns false
+  /// when unreachable.  `fn` runs at the receiver with total path hops.
+  bool send(NodeId from, NodeId to, QipMsg msg, Traffic traffic,
+            std::uint64_t hops_base,
+            std::function<void(std::uint64_t total_hops)> fn,
+            const std::string& detail = "");
+
+  // ---- entry & configuration (qip_engine.cpp) ----------------------------
+  void begin_bootstrap(NodeId id);
+  void bootstrap_attempt(NodeId id);
+  void become_first_head(NodeId id);
+  void start_configuration(NodeId id);
+  std::optional<NodeId> choose_common_allocator(NodeId requestor,
+                                                std::uint64_t& extra_hops);
+
+  void enqueue_request(NodeId allocator, PendingRequest req);
+  void pump_pending(NodeId allocator);
+  void begin_txn(NodeId allocator, const PendingRequest& req);
+
+  /// Picks the next proposal for `txn` (own IPSpace first, then borrowed
+  /// QuorumSpace addresses §V-A).  Returns false when nothing is available;
+  /// `blocked_by_lock` distinguishes "space exists but another transaction
+  /// holds it" (worth waiting) from genuine exhaustion.
+  bool propose_next(ConfigTxn& txn, bool* blocked_by_lock = nullptr);
+  /// Forwards the request to the allocator's configurer as a last resort
+  /// ("acts as an agent", §V-A).  Returns false if no agent path exists.
+  bool agent_forward(ConfigTxn& txn);
+
+  void start_quorum_round(ConfigTxn& txn);
+  void handle_quorum_clt(NodeId voter, NodeId allocator, NodeId owner,
+                         std::uint64_t txn_id, std::uint32_t round,
+                         const AddressBlock& proposal,
+                         std::uint64_t hops_so_far);
+  void handle_vote(std::uint64_t txn_id, std::uint32_t round, NodeId voter,
+                   Vote vote, std::uint64_t timestamp,
+                   std::uint64_t hops_so_far);
+  std::uint32_t quorum_needed(const ConfigTxn& txn) const;
+  void round_failed(ConfigTxn& txn, bool conflict);
+  void release_grants(ConfigTxn& txn);
+  void commit_config(ConfigTxn& txn);
+  void finish_config_failure(ConfigTxn& txn);
+  void complete_common(NodeId id, NodeId allocator, IpAddress addr,
+                       NetworkId network_id, std::uint64_t total_hops,
+                       std::uint32_t attempts);
+  void complete_head(NodeId id, NodeId allocator, AddressBlock block,
+                     NetworkId network_id, std::uint64_t total_hops,
+                     std::uint32_t attempts);
+  void join_qdsets(NodeId new_head);
+  void end_txn(ConfigTxn& txn);
+
+  /// Write round: pushes a fresh snapshot of `owner`'s space (as known by
+  /// `source`, the owner itself or a replica holder) to the replica group.
+  /// `txn_id`, when nonzero, also releases that transaction's permission at
+  /// each recipient (the write round doubles as lock release).
+  void replicate_update(NodeId source, NodeId owner, Traffic traffic,
+                        std::uint64_t txn_id = 0);
+  /// Snapshot of `owner`'s space as seen from `source`.
+  ReplicaCopy snapshot_space(NodeId source, NodeId owner) const;
+  /// Applies an incoming snapshot at `holder`.
+  void adopt_replica(NodeId holder, const ReplicaCopy& snapshot);
+
+  // ---- departure (qip_departure.cpp) --------------------------------------
+  void depart_common(NodeId id);
+  void depart_head(NodeId id);
+  void handle_return_addr(NodeId receiver, NodeId leaver, NodeId configurer,
+                          IpAddress addr, std::uint64_t hops,
+                          std::uint32_t ttl);
+  void free_owned_address(NodeId owner, IpAddress addr, Traffic traffic);
+
+  // ---- maintenance (qip_maintenance.cpp) ----------------------------------
+  void location_update_scan();
+  void head_neighborhood_scan(NodeId head);
+  void suspect(NodeId head, NodeId missing);
+  void unsuspect(NodeId head, NodeId member);
+  void shrink_quorum(NodeId head, NodeId missing);
+  void grow_quorum(NodeId head);
+  void add_qdset_link(NodeId a, NodeId b, Traffic traffic);
+  void refresh_network_ids();
+  void start_reclamation(NodeId initiator, NodeId dead_head);
+  void handle_rec_rep(NodeId head, NodeId claimant, NodeId dead_head,
+                      IpAddress addr, std::uint64_t hops);
+  void finish_reclamation(NodeId dead_head);
+
+  // ---- partition & merge (qip_partition.cpp) ------------------------------
+  void merge_scan();
+  void absorb_network(NodeId detector, NetworkId winner_id,
+                      NetworkId loser_id);
+  /// Reconciles two reconnected partitions of the same pool (same epoch
+  /// nonce): duplicate addresses resolve by freshest record, losing holders
+  /// reconfigure, head universes stay in the pool.
+  void heal_partition(NodeId detector);
+  void isolated_head_recovery(NodeId head);
+
+  // ---- data ---------------------------------------------------------------
+  QipParams params_;
+  ClusterView clusters_;
+  std::map<NodeId, QipNodeState> nodes_;
+  std::map<std::uint64_t, ConfigTxn> txns_;
+  std::map<NodeId, ReclaimTxn> reclaims_;
+  /// Cooldown: last time a reclamation for this head was attempted, so a
+  /// blocked (minority) reclamation is not retried every failed allocation.
+  std::map<NodeId, SimTime> reclaim_attempted_;
+  std::uint64_t next_txn_ = 1;
+  std::uint64_t config_failures_ = 0;
+  std::uint64_t config_successes_ = 0;
+  std::uint64_t reclaims_started_ = 0;
+  std::uint64_t reclaims_completed_ = 0;
+  std::uint64_t merges_handled_ = 0;
+  EventHandle hello_timer_;
+  bool hello_running_ = false;
+  TraceSink trace_;
+};
+
+}  // namespace qip

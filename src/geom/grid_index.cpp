@@ -1,0 +1,67 @@
+#include "geom/grid_index.hpp"
+
+#include <algorithm>
+
+namespace qip {
+
+void GridIndex::insert(std::uint32_t id, const Point& p) {
+  QIP_ASSERT_MSG(!contains(id), "id " << id << " already indexed");
+  const CellKey key = key_for(p);
+  cells_[key].push_back(id);
+  where_.emplace(id, Entry{p, key});
+}
+
+void GridIndex::remove(std::uint32_t id) {
+  auto it = where_.find(id);
+  QIP_ASSERT_MSG(it != where_.end(), "id " << id << " not indexed");
+  auto cell_it = cells_.find(it->second.cell);
+  QIP_ASSERT(cell_it != cells_.end());
+  auto& bucket = cell_it->second;
+  bucket.erase(std::find(bucket.begin(), bucket.end(), id));
+  if (bucket.empty()) cells_.erase(cell_it);
+  where_.erase(it);
+}
+
+void GridIndex::move(std::uint32_t id, const Point& p) {
+  auto it = where_.find(id);
+  QIP_ASSERT_MSG(it != where_.end(), "id " << id << " not indexed");
+  const CellKey new_key = key_for(p);
+  if (!(new_key == it->second.cell)) {
+    auto& old_bucket = cells_[it->second.cell];
+    old_bucket.erase(std::find(old_bucket.begin(), old_bucket.end(), id));
+    if (old_bucket.empty()) cells_.erase(it->second.cell);
+    cells_[new_key].push_back(id);
+    it->second.cell = new_key;
+  }
+  it->second.pos = p;
+}
+
+const Point& GridIndex::position(std::uint32_t id) const {
+  auto it = where_.find(id);
+  QIP_ASSERT_MSG(it != where_.end(), "id " << id << " not indexed");
+  return it->second.pos;
+}
+
+std::vector<std::uint32_t> GridIndex::query(const Point& center, double radius,
+                                            std::int64_t exclude) const {
+  QIP_ASSERT(radius > 0.0);
+  std::vector<std::uint32_t> out;
+  const double r_sq = radius * radius;
+  // The query radius can exceed the cell size (rare but allowed); widen the
+  // cell window accordingly.
+  const auto span = static_cast<std::int64_t>(std::ceil(radius / cell_));
+  const CellKey base = key_for(center);
+  for (std::int64_t dx = -span; dx <= span; ++dx) {
+    for (std::int64_t dy = -span; dy <= span; ++dy) {
+      auto it = cells_.find({base.cx + dx, base.cy + dy});
+      if (it == cells_.end()) continue;
+      for (std::uint32_t id : it->second) {
+        if (static_cast<std::int64_t>(id) == exclude) continue;
+        if (distance_sq(where_.at(id).pos, center) <= r_sq) out.push_back(id);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qip

@@ -1,0 +1,53 @@
+// 2-D geometry primitives for node placement and mobility.
+//
+// Positions are metres in a planar simulation area (the paper uses a
+// 1 km × 1 km field).  distance_sq is preferred in hot paths (neighbor
+// discovery) to avoid the sqrt.
+#pragma once
+
+#include <cmath>
+
+namespace qip {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double k) const { return {x * k, y * k}; }
+};
+
+inline double distance_sq(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double distance(const Point& a, const Point& b) {
+  return std::sqrt(distance_sq(a, b));
+}
+
+inline double length(const Point& v) { return std::sqrt(v.x * v.x + v.y * v.y); }
+
+/// Unit vector from `from` toward `to`; returns {0,0} if the points coincide.
+inline Point direction(const Point& from, const Point& to) {
+  const Point d = to - from;
+  const double len = length(d);
+  if (len == 0.0) return {0.0, 0.0};
+  return {d.x / len, d.y / len};
+}
+
+/// Point advanced `dist` metres from `from` toward `to`, clamped at `to`.
+inline Point advance(const Point& from, const Point& to, double dist) {
+  const double total = distance(from, to);
+  if (dist >= total || total == 0.0) return to;
+  const Point dir = direction(from, to);
+  return {from.x + dir.x * dist, from.y + dir.y * dist};
+}
+
+}  // namespace qip

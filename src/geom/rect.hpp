@@ -1,0 +1,34 @@
+// Axis-aligned simulation area.
+#pragma once
+
+#include <algorithm>
+
+#include "geom/point.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace qip {
+
+/// The rectangular field nodes live in; [0,width) × [0,height) metres.
+struct Rect {
+  double width = 1000.0;
+  double height = 1000.0;
+
+  bool contains(const Point& p) const {
+    return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+  }
+
+  Point clamp(const Point& p) const {
+    return {std::clamp(p.x, 0.0, width), std::clamp(p.y, 0.0, height)};
+  }
+
+  /// Uniformly random point inside the rectangle.
+  Point sample(Rng& rng) const {
+    QIP_ASSERT(width > 0.0 && height > 0.0);
+    return {rng.uniform(0.0, width), rng.uniform(0.0, height)};
+  }
+
+  double area() const { return width * height; }
+};
+
+}  // namespace qip

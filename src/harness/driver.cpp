@@ -1,0 +1,108 @@
+#include "harness/driver.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+Driver::Driver(World& world, AutoconfProtocol& proto, DriverOptions options)
+    : world_(world), proto_(proto), options_(options) {
+  if (options_.mobility) {
+    world_.mobility().set_on_tick([this] { proto_.on_mobility_tick(); });
+    world_.mobility().start();
+  }
+}
+
+NodeId Driver::join_at(const Point& position) {
+  const NodeId id = next_id_++;
+  world_.topology().add_node(id, position);
+  proto_.node_entered(id);
+  world_.run_for(options_.arrival_interval);
+  if (options_.mobility && proto_.configured(id)) {
+    world_.mobility().add(id, world_.params().speed);
+  }
+  members_.push_back(id);
+  return id;
+}
+
+NodeId Driver::join_one() {
+  const NodeId id = next_id_++;
+  if (options_.connected_arrivals && world_.topology().node_count() > 0) {
+    // Rejection-sample until the newcomer hears at least one existing node;
+    // give up after a bounded number of tries (very sparse networks).
+    Topology& topo = world_.topology();
+    for (int tries = 0; tries < 200; ++tries) {
+      const Point p = topo.area().sample(world_.rng());
+      if (topo.covered(p)) {
+        topo.add_node(id, p);
+        break;
+      }
+      if (tries == 199) topo.add_node(id, p);
+    }
+  } else {
+    world_.place_random(id);
+  }
+  proto_.node_entered(id);
+  world_.run_for(options_.arrival_interval);
+  if (options_.mobility && proto_.configured(id)) {
+    // §VI-A: nodes move "to a random destination ... after its configuration
+    // with the network".
+    world_.mobility().add(id, world_.params().speed);
+  }
+  members_.push_back(id);
+  return id;
+}
+
+std::vector<NodeId> Driver::join(std::uint32_t n) {
+  std::vector<NodeId> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(join_one());
+  return out;
+}
+
+void Driver::remove_from_members(NodeId id) {
+  auto it = std::find(members_.begin(), members_.end(), id);
+  QIP_ASSERT_MSG(it != members_.end(), "node " << id << " not a member");
+  members_.erase(it);
+}
+
+void Driver::depart_graceful(NodeId id) {
+  remove_from_members(id);
+  proto_.node_departing(id);
+  world_.run_for(options_.departure_settle);
+  if (world_.mobility().manages(id)) world_.mobility().remove(id);
+  if (world_.topology().has_node(id)) world_.topology().remove_node(id);
+  proto_.node_left(id);
+}
+
+void Driver::depart_abrupt(NodeId id) {
+  remove_from_members(id);
+  if (world_.mobility().manages(id)) world_.mobility().remove(id);
+  if (world_.topology().has_node(id)) world_.topology().remove_node(id);
+  proto_.node_vanished(id);
+}
+
+double Driver::configured_fraction() const {
+  if (next_id_ == 0) return 0.0;
+  std::uint32_t ok = 0;
+  for (NodeId id = 0; id < next_id_; ++id) {
+    if (proto_.configured(id)) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(next_id_);
+}
+
+double Driver::mean_config_latency() const {
+  double sum = 0.0;
+  std::uint32_t n = 0;
+  for (NodeId id = 0; id < next_id_; ++id) {
+    const ConfigRecord* rec = proto_.config_record(id);
+    if (rec && rec->success) {
+      sum += static_cast<double>(rec->latency_hops);
+      ++n;
+    }
+  }
+  return n ? sum / n : 0.0;
+}
+
+}  // namespace qip

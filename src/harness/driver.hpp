@@ -1,0 +1,98 @@
+// Scenario driver: the lifecycle choreography shared by tests, examples and
+// every figure bench.
+//
+// Implements the harness side of AutoconfProtocol's lifecycle contract —
+// sequential arrivals, post-configuration mobility, graceful departures with
+// a settle window, and abrupt departures (silent removal).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/world.hpp"
+#include "net/protocol.hpp"
+
+namespace qip {
+
+struct DriverOptions {
+  /// Simulated seconds between sequential arrivals (§VI-A).
+  SimTime arrival_interval = 0.5;
+  /// Time the network runs after a graceful-departure announcement before
+  /// the node physically disappears.
+  SimTime departure_settle = 0.2;
+  /// Nodes start moving once configured.
+  bool mobility = true;
+  /// Place arrivals within radio range of the existing network (§VI-A grows
+  /// one network; without this bias, early sparse arrivals bootstrap many
+  /// independent networks that must merge later).  Partition experiments
+  /// turn it off.
+  bool connected_arrivals = true;
+};
+
+class Driver {
+ public:
+  Driver(World& world, AutoconfProtocol& proto, DriverOptions options = {});
+
+  /// Adds one node at a random position and starts its configuration; runs
+  /// the world for the arrival interval.  Returns the node id.
+  NodeId join_one();
+
+  /// Deterministic variant: joins a node at an explicit position (tests).
+  NodeId join_at(const Point& position);
+
+  /// Sequentially joins `n` nodes.  Returns their ids.
+  std::vector<NodeId> join(std::uint32_t n);
+
+  /// Graceful departure: protocol farewell, settle window, then removal.
+  void depart_graceful(NodeId id);
+
+  /// Abrupt departure: the node vanishes without any message.
+  void depart_abrupt(NodeId id);
+
+  /// Ids of nodes currently in the network, sorted.
+  const std::vector<NodeId>& members() const { return members_; }
+
+  /// Fraction of joined nodes that ended configured.
+  double configured_fraction() const;
+
+  /// Mean configuration latency (hops) over successfully configured nodes.
+  double mean_config_latency() const;
+
+  /// Number of joins attempted so far.
+  std::uint32_t joined_count() const { return next_id_; }
+
+ private:
+  void remove_from_members(NodeId id);
+
+  World& world_;
+  AutoconfProtocol& proto_;
+  DriverOptions options_;
+  NodeId next_id_ = 0;
+  std::vector<NodeId> members_;
+};
+
+/// Snapshot-diff helper: meters the hops a phase of a scenario produced.
+class PhaseMeter {
+ public:
+  explicit PhaseMeter(const MessageStats& stats) : stats_(&stats) { reset(); }
+
+  void reset() { start_ = *stats_; }
+
+  /// Hops added in `t` since the last reset.
+  std::uint64_t hops(Traffic t) const {
+    return stats_->of(t).hops - start_.of(t).hops;
+  }
+  std::uint64_t messages(Traffic t) const {
+    return stats_->of(t).messages - start_.of(t).messages;
+  }
+  /// All protocol hops (hello excluded) since the last reset.
+  std::uint64_t protocol_hops() const {
+    return stats_->protocol_hops() - start_.protocol_hops();
+  }
+
+ private:
+  const MessageStats* stats_;
+  MessageStats start_;
+};
+
+}  // namespace qip

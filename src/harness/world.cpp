@@ -1,0 +1,28 @@
+#include "harness/world.hpp"
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+World::World(const WorldParams& params, std::uint64_t seed)
+    : params_(params),
+      rng_(seed),
+      topology_(Rect{params.area_side, params.area_side},
+                params.transmission_range),
+      transport_(sim_, topology_, stats_, params.per_hop_delay),
+      mobility_(sim_, topology_, rng_, params.mobility_tick) {}
+
+Point World::place_random(NodeId id) {
+  const Point p = topology_.area().sample(rng_);
+  topology_.add_node(id, p);
+  return p;
+}
+
+void World::settle(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (sim_.step()) {
+    QIP_ASSERT_MSG(++n <= max_events, "settle exceeded event budget");
+  }
+}
+
+}  // namespace qip

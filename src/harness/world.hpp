@@ -1,0 +1,62 @@
+// Simulation world: one bundle owning the substrate a protocol runs on.
+//
+// The paper's setup (§VI-A): 1 km × 1 km area, 50–200 nodes arriving
+// sequentially, random-waypoint movement at 20 m/s after configuration,
+// graceful or abrupt departures.  A World wires simulator, topology,
+// transport metering and mobility together with one deterministic RNG.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "geom/rect.hpp"
+#include "mobility/waypoint.hpp"
+#include "net/metrics.hpp"
+#include "net/topology.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace qip {
+
+struct WorldParams {
+  double area_side = 1000.0;        ///< metres (1 km × 1 km)
+  double transmission_range = 150.0;///< metres
+  double speed = 20.0;              ///< m/s random-waypoint speed
+  SimTime mobility_tick = 1.0;      ///< movement timestep, seconds
+  SimTime per_hop_delay = 0.002;    ///< transport per-hop latency, seconds
+};
+
+class World {
+ public:
+  World(const WorldParams& params, std::uint64_t seed);
+
+  const WorldParams& params() const { return params_; }
+  Rng& rng() { return rng_; }
+  Simulator& sim() { return sim_; }
+  Topology& topology() { return topology_; }
+  MessageStats& stats() { return stats_; }
+  Transport& transport() { return transport_; }
+  MobilityManager& mobility() { return mobility_; }
+
+  /// Places a new node uniformly at random; returns its position.
+  Point place_random(NodeId id);
+
+  /// Advances simulated time by `dt`, executing due events.
+  void run_for(SimTime dt) { sim_.run(sim_.now() + dt); }
+
+  /// Drains every pending event (bounded by `max_events` as a livelock
+  /// guard).
+  void settle(std::uint64_t max_events = 2'000'000);
+
+ private:
+  WorldParams params_;
+  Rng rng_;
+  Simulator sim_;
+  Topology topology_;
+  MessageStats stats_;
+  Transport transport_;
+  MobilityManager mobility_;
+};
+
+}  // namespace qip

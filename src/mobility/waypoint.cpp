@@ -1,0 +1,60 @@
+#include "mobility/waypoint.hpp"
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+MobilityManager::MobilityManager(Simulator& sim, Topology& topology, Rng& rng,
+                                 SimTime tick)
+    : sim_(sim), topology_(topology), rng_(rng), tick_(tick) {
+  QIP_ASSERT(tick > 0.0);
+}
+
+void MobilityManager::add(NodeId id, double speed) {
+  QIP_ASSERT_MSG(topology_.has_node(id), "node " << id << " not in topology");
+  QIP_ASSERT(speed >= 0.0);
+  State s;
+  s.speed = speed;
+  s.target = topology_.area().sample(rng_);
+  nodes_[id] = s;
+}
+
+void MobilityManager::remove(NodeId id) { nodes_.erase(id); }
+
+void MobilityManager::step() {
+  for (auto& [id, state] : nodes_) {
+    if (state.speed <= 0.0) continue;
+    const Point pos = topology_.position(id);
+    const double dist = state.speed * tick_;
+    Point next = advance(pos, state.target, dist);
+    if (next == state.target) {
+      // Destination reached within this tick: pick the next waypoint.  The
+      // leftover travel distance within the tick is forfeited, matching the
+      // common implementation of the model.
+      state.target = topology_.area().sample(rng_);
+    }
+    topology_.move_node(id, topology_.area().clamp(next));
+  }
+  if (on_tick_) on_tick_();
+}
+
+void MobilityManager::schedule_next() {
+  pending_ = sim_.after(tick_, [this] {
+    if (!running_) return;
+    step();
+    schedule_next();
+  });
+}
+
+void MobilityManager::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void MobilityManager::stop() {
+  running_ = false;
+  pending_.cancel();
+}
+
+}  // namespace qip

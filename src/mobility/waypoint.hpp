@@ -1,0 +1,72 @@
+// Random-waypoint mobility (§VI-A).
+//
+// Each managed node moves in a straight line toward a uniformly random
+// destination at its configured speed; on arrival it immediately picks a new
+// destination (the paper uses no pause time and a single speed, 20 m/s,
+// varied only for Figure 11).  The manager advances all nodes on a fixed
+// tick through the simulator and updates the shared topology, then invokes
+// an observer hook so protocols can react to movement (location updates).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "net/node_id.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace qip {
+
+class MobilityManager {
+ public:
+  /// `tick` is the movement timestep in simulated seconds.
+  MobilityManager(Simulator& sim, Topology& topology, Rng& rng,
+                  SimTime tick = 1.0);
+  ~MobilityManager() { stop(); }
+  MobilityManager(const MobilityManager&) = delete;
+  MobilityManager& operator=(const MobilityManager&) = delete;
+
+  /// Starts moving `id` (already present in the topology) at `speed` m/s.
+  void add(NodeId id, double speed);
+
+  /// Stops managing `id` (e.g. the node departed).  Safe if not managed.
+  void remove(NodeId id);
+
+  bool manages(NodeId id) const { return nodes_.count(id) != 0; }
+  std::size_t managed_count() const { return nodes_.size(); }
+
+  /// Observer invoked after every tick once all nodes have moved.
+  void set_on_tick(std::function<void()> fn) { on_tick_ = std::move(fn); }
+
+  /// Begins periodic ticking (idempotent).
+  void start();
+  /// Cancels the pending tick.
+  void stop();
+
+  /// Advances one tick worth of movement immediately (used by tests).
+  void step();
+
+ private:
+  struct State {
+    Point target;
+    double speed = 0.0;
+  };
+
+  void schedule_next();
+
+  Simulator& sim_;
+  Topology& topology_;
+  Rng& rng_;
+  SimTime tick_;
+  // std::map: ticks iterate in id order, keeping runs deterministic.
+  std::map<NodeId, State> nodes_;
+  std::function<void()> on_tick_;
+  EventHandle pending_;
+  bool running_ = false;
+};
+
+}  // namespace qip

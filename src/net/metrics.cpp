@@ -1,0 +1,41 @@
+#include "net/metrics.hpp"
+
+#include <sstream>
+
+namespace qip {
+
+const char* to_string(Traffic t) {
+  switch (t) {
+    case Traffic::kConfiguration:
+      return "configuration";
+    case Traffic::kDeparture:
+      return "departure";
+    case Traffic::kMovement:
+      return "movement";
+    case Traffic::kReclamation:
+      return "reclamation";
+    case Traffic::kMaintenance:
+      return "maintenance";
+    case Traffic::kHello:
+      return "hello";
+    case Traffic::kPartition:
+      return "partition";
+    case Traffic::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::string MessageStats::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Traffic::kCount); ++i) {
+    const auto t = static_cast<Traffic>(i);
+    const auto& c = of(t);
+    if (c.messages == 0) continue;
+    os << qip::to_string(t) << ": " << c.messages << " msgs / " << c.hops
+       << " hops\n";
+  }
+  return os.str();
+}
+
+}  // namespace qip

@@ -1,0 +1,67 @@
+// Message accounting.
+//
+// Every figure in the paper's evaluation reports hop counts: "one message
+// sent from one node to its one-hop neighbor is considered to be one hop"
+// (§VI-B).  The transport records, per traffic category, both the number of
+// logical messages and the total hops they traversed; benches read these
+// counters to regenerate the figures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace qip {
+
+enum class Traffic : std::size_t {
+  kConfiguration = 0,  ///< address request/propose/confirm + quorum collection
+  kDeparture = 1,      ///< graceful-leave address return
+  kMovement = 2,       ///< location updates (UPDATE_LOC and relatives)
+  kReclamation = 3,    ///< ADDR_REC / REC_REP and equivalents
+  kMaintenance = 4,    ///< replica refresh, periodic table sync, C-tree updates
+  kHello = 5,          ///< periodic beacons (metered but excluded from figures)
+  kPartition = 6,      ///< partition/merge handling traffic
+  kCount = 7,
+};
+
+const char* to_string(Traffic t);
+
+struct TrafficCounter {
+  std::uint64_t messages = 0;
+  std::uint64_t hops = 0;
+};
+
+class MessageStats {
+ public:
+  void record(Traffic t, std::uint64_t hops, std::uint64_t messages = 1) {
+    auto& c = counters_[static_cast<std::size_t>(t)];
+    c.messages += messages;
+    c.hops += hops;
+  }
+
+  const TrafficCounter& of(Traffic t) const {
+    return counters_[static_cast<std::size_t>(t)];
+  }
+
+  std::uint64_t total_hops() const {
+    std::uint64_t sum = 0;
+    for (const auto& c : counters_) sum += c.hops;
+    return sum;
+  }
+
+  /// Hops across all categories except hello beacons (the quantity the
+  /// paper's overhead figures plot).
+  std::uint64_t protocol_hops() const {
+    return total_hops() - of(Traffic::kHello).hops;
+  }
+
+  void reset() { counters_ = {}; }
+
+  std::string to_string() const;
+
+ private:
+  std::array<TrafficCounter, static_cast<std::size_t>(Traffic::kCount)>
+      counters_{};
+};
+
+}  // namespace qip

@@ -1,0 +1,17 @@
+// Simulator-level node identity.
+//
+// A NodeId names a physical device for the lifetime of a simulation run; it
+// is distinct from the IP address the protocol assigns (which can change,
+// e.g. after a network merge).  Ids are never reused within one run.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace qip {
+
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace qip

@@ -1,0 +1,134 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+Topology::Topology(Rect area, double transmission_range)
+    : area_(area), range_(transmission_range), index_(transmission_range) {
+  QIP_ASSERT(transmission_range > 0.0);
+}
+
+void Topology::add_node(NodeId id, const Point& pos) {
+  QIP_ASSERT_MSG(area_.contains(pos), "position outside simulation area");
+  index_.insert(id, pos);
+}
+
+void Topology::remove_node(NodeId id) { index_.remove(id); }
+
+void Topology::move_node(NodeId id, const Point& pos) {
+  QIP_ASSERT_MSG(area_.contains(pos), "position outside simulation area");
+  index_.move(id, pos);
+}
+
+std::vector<NodeId> Topology::all_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(index_.size());
+  index_.for_each([&](NodeId id, const Point&) { out.push_back(id); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> Topology::neighbors(NodeId id) const {
+  auto out = index_.query(index_.position(id), range_,
+                          static_cast<std::int64_t>(id));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Topology::covered(const Point& p) const {
+  return !index_.query(p, range_).empty();
+}
+
+std::vector<std::pair<NodeId, std::uint32_t>> Topology::k_hop_neighbors(
+    NodeId id, std::uint32_t k) const {
+  std::vector<std::pair<NodeId, std::uint32_t>> out;
+  std::unordered_map<NodeId, std::uint32_t> dist;
+  dist.emplace(id, 0);
+  std::deque<NodeId> frontier{id};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    const std::uint32_t d = dist[u];
+    if (d == k) continue;
+    for (NodeId v : neighbors(u)) {
+      if (dist.emplace(v, d + 1).second) {
+        out.emplace_back(v, d + 1);
+        frontier.push_back(v);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unordered_map<NodeId, std::uint32_t> Topology::hop_distances_from(
+    NodeId from) const {
+  QIP_ASSERT(has_node(from));
+  std::unordered_map<NodeId, std::uint32_t> dist;
+  dist.emplace(from, 0);
+  std::deque<NodeId> frontier{from};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    const std::uint32_t d = dist[u];
+    for (NodeId v : neighbors(u)) {
+      if (dist.emplace(v, d + 1).second) frontier.push_back(v);
+    }
+  }
+  return dist;
+}
+
+std::optional<std::uint32_t> Topology::hop_distance(NodeId from,
+                                                    NodeId to) const {
+  QIP_ASSERT(has_node(from) && has_node(to));
+  if (from == to) return 0;
+  // Early-exit BFS.
+  std::unordered_map<NodeId, std::uint32_t> dist;
+  dist.emplace(from, 0);
+  std::deque<NodeId> frontier{from};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    const std::uint32_t d = dist[u];
+    for (NodeId v : neighbors(u)) {
+      if (v == to) return d + 1;
+      if (dist.emplace(v, d + 1).second) frontier.push_back(v);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> Topology::component_of(NodeId id) const {
+  auto dist = hop_distances_from(id);
+  std::vector<NodeId> out;
+  out.reserve(dist.size());
+  for (const auto& [node, d] : dist) out.push_back(node);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<NodeId>> Topology::components() const {
+  std::vector<std::vector<NodeId>> out;
+  std::unordered_set<NodeId> seen;
+  for (NodeId id : all_nodes()) {
+    if (seen.count(id)) continue;
+    auto comp = component_of(id);
+    for (NodeId member : comp) seen.insert(member);
+    out.push_back(std::move(comp));
+  }
+  // all_nodes() is sorted, so components are already ordered by smallest
+  // member.
+  return out;
+}
+
+std::uint32_t Topology::eccentricity(NodeId id) const {
+  std::uint32_t ecc = 0;
+  for (const auto& [node, d] : hop_distances_from(id)) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+}  // namespace qip

@@ -1,0 +1,77 @@
+// Wireless connectivity model: unit-disk graph over node positions.
+//
+// Two nodes are neighbors iff their distance is at most the transmission
+// range (the paper's model, §VI-A).  The topology answers the queries the
+// protocol and transport need: one-hop neighbors, k-hop neighborhoods, BFS
+// hop distances / shortest paths, and connected components (for partition
+// experiments).  Positions are indexed in a uniform grid so neighbor lookup
+// is O(1) expected.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "geom/grid_index.hpp"
+#include "geom/rect.hpp"
+#include "net/node_id.hpp"
+
+namespace qip {
+
+class Topology {
+ public:
+  Topology(Rect area, double transmission_range);
+
+  const Rect& area() const { return area_; }
+  double range() const { return range_; }
+
+  void add_node(NodeId id, const Point& pos);
+  void remove_node(NodeId id);
+  void move_node(NodeId id, const Point& pos);
+  bool has_node(NodeId id) const { return index_.contains(id); }
+  const Point& position(NodeId id) const { return index_.position(id); }
+  std::size_t node_count() const { return index_.size(); }
+  std::vector<NodeId> all_nodes() const;
+
+  /// One-hop neighbors of `id` (distance <= range, excluding `id`).
+  std::vector<NodeId> neighbors(NodeId id) const;
+
+  /// True iff at least one node lies within transmission range of `p`.
+  bool covered(const Point& p) const;
+
+  /// All nodes within `k` hops of `id`, excluding `id`, paired with their hop
+  /// distance (sorted by id for determinism).
+  std::vector<std::pair<NodeId, std::uint32_t>> k_hop_neighbors(
+      NodeId id, std::uint32_t k) const;
+
+  /// BFS hop distance, or nullopt if unreachable.
+  std::optional<std::uint32_t> hop_distance(NodeId from, NodeId to) const;
+
+  /// Hop distances from `from` to every reachable node (including itself at
+  /// hop 0).
+  std::unordered_map<NodeId, std::uint32_t> hop_distances_from(
+      NodeId from) const;
+
+  bool reachable(NodeId from, NodeId to) const {
+    return hop_distance(from, to).has_value();
+  }
+
+  /// Members of the connected component containing `id` (includes `id`),
+  /// sorted by id.
+  std::vector<NodeId> component_of(NodeId id) const;
+
+  /// All connected components, each sorted, ordered by smallest member.
+  std::vector<std::vector<NodeId>> components() const;
+
+  /// Greatest hop distance from `id` to any node in its component.
+  std::uint32_t eccentricity(NodeId id) const;
+
+ private:
+  Rect area_;
+  double range_;
+  GridIndex index_;
+};
+
+}  // namespace qip

@@ -1,0 +1,81 @@
+#include "net/transport.hpp"
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+Transport::Transport(Simulator& sim, Topology& topology, MessageStats& stats,
+                     SimTime per_hop_delay)
+    : sim_(sim),
+      topology_(topology),
+      stats_(stats),
+      per_hop_delay_(per_hop_delay) {
+  QIP_ASSERT(per_hop_delay >= 0.0);
+}
+
+void Transport::deliver_later(NodeId to, std::uint32_t hops,
+                              Receiver on_deliver) {
+  QIP_ASSERT(on_deliver != nullptr);
+  sim_.after(static_cast<SimTime>(hops) * per_hop_delay_,
+             [this, to, hops, fn = std::move(on_deliver)]() {
+               // The destination may have departed while the message was in
+               // flight; a vanished radio hears nothing.
+               if (topology_.has_node(to)) fn(to, hops);
+             });
+}
+
+std::optional<std::uint32_t> Transport::unicast(NodeId from, NodeId to,
+                                                Traffic t,
+                                                Receiver on_deliver) {
+  // A sender that already left the field cannot transmit (protocol timers
+  // can fire in the same instant a node departs).
+  if (!topology_.has_node(from) || !topology_.has_node(to))
+    return std::nullopt;
+  const auto hops = topology_.hop_distance(from, to);
+  if (!hops) return std::nullopt;
+  stats_.record(t, *hops);
+  deliver_later(to, *hops, std::move(on_deliver));
+  return hops;
+}
+
+std::vector<NodeId> Transport::local_broadcast(NodeId from, Traffic t,
+                                               Receiver on_deliver) {
+  if (!topology_.has_node(from)) return {};
+  auto heard = topology_.neighbors(from);
+  stats_.record(t, 1);  // one transmission regardless of audience size
+  for (NodeId n : heard) deliver_later(n, 1, on_deliver);
+  return heard;
+}
+
+std::vector<NodeId> Transport::flood(NodeId from, std::uint32_t radius,
+                                     Traffic t, Receiver on_deliver) {
+  if (!topology_.has_node(from)) return {};
+  QIP_ASSERT(radius >= 1);
+  auto in_range = topology_.k_hop_neighbors(from, radius);
+  // Transmissions: the sender plus every node that relays (distance < radius).
+  std::uint64_t transmissions = 1;
+  for (const auto& [node, d] : in_range)
+    if (d < radius) ++transmissions;
+  stats_.record(t, transmissions, /*messages=*/1);
+  std::vector<NodeId> reached;
+  reached.reserve(in_range.size());
+  for (const auto& [node, d] : in_range) {
+    reached.push_back(node);
+    deliver_later(node, d, on_deliver);
+  }
+  return reached;
+}
+
+std::vector<NodeId> Transport::flood_component(NodeId from, Traffic t,
+                                               Receiver on_deliver) {
+  if (!topology_.has_node(from)) return {};
+  const std::uint32_t ecc = topology_.eccentricity(from);
+  if (ecc == 0) {
+    // Isolated sender: one futile transmission.
+    stats_.record(t, 1, 1);
+    return {};
+  }
+  return flood(from, ecc, t, std::move(on_deliver));
+}
+
+}  // namespace qip

@@ -1,0 +1,82 @@
+// Metered message transport over the unit-disk topology.
+//
+// The paper assumes "reliable delivery of messages within transmission
+// range" (§IV-B) and measures everything in hops.  The transport therefore
+// models a message as: route computed on the current topology at send time,
+// delivered after hops × per-hop delay, hop count charged to the sender's
+// traffic category.  Unreachable destinations are reported synchronously
+// (routing fails) and charged nothing; protocol-level timers handle the
+// resulting silence, exactly as in the paper's quorum-adjustment logic.
+//
+// Flooding model: in a scoped flood every node up to radius-1 hops
+// retransmits once, so the charged cost is the number of transmissions
+// (1 + |nodes within radius-1 hops|), and a node at distance d receives the
+// message after d hop-delays.  A network-wide flood is the same with radius
+// = component eccentricity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/metrics.hpp"
+#include "net/node_id.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace qip {
+
+class Transport {
+ public:
+  /// Called at the receiver; `hops` is the distance the message travelled.
+  using Receiver = std::function<void(NodeId receiver, std::uint32_t hops)>;
+
+  Transport(Simulator& sim, Topology& topology, MessageStats& stats,
+            SimTime per_hop_delay = 0.002);
+
+  SimTime per_hop_delay() const { return per_hop_delay_; }
+  MessageStats& stats() { return stats_; }
+  const MessageStats& stats() const { return stats_; }
+  Simulator& sim() { return sim_; }
+  const Simulator& sim() const { return sim_; }
+  Topology& topology() { return topology_; }
+  const Topology& topology() const { return topology_; }
+
+  /// Sends along the current shortest path.  Returns the hop count, or
+  /// nullopt when `to` is unreachable (nothing is charged or scheduled).
+  /// Delivery is skipped if the destination has left the network meanwhile.
+  std::optional<std::uint32_t> unicast(NodeId from, NodeId to, Traffic t,
+                                       Receiver on_deliver);
+
+  /// Single transmission heard by all current one-hop neighbors.  Returns
+  /// the neighbors reached.  Cost: 1 transmission.
+  std::vector<NodeId> local_broadcast(NodeId from, Traffic t,
+                                      Receiver on_deliver);
+
+  /// Scoped flood to every node within `radius` hops.  Returns the nodes
+  /// reached (excluding the sender).  Cost: 1 + |nodes within radius-1 hops|
+  /// transmissions.
+  std::vector<NodeId> flood(NodeId from, std::uint32_t radius, Traffic t,
+                            Receiver on_deliver);
+
+  /// Network-wide flood (the MANETconf configuration primitive): reaches the
+  /// whole connected component of `from`; every member transmits once.
+  std::vector<NodeId> flood_component(NodeId from, Traffic t,
+                                      Receiver on_deliver);
+
+  /// Hop distance on the current topology (charging nothing).
+  std::optional<std::uint32_t> hops_between(NodeId a, NodeId b) const {
+    return topology_.hop_distance(a, b);
+  }
+
+ private:
+  void deliver_later(NodeId to, std::uint32_t hops, Receiver on_deliver);
+
+  Simulator& sim_;
+  Topology& topology_;
+  MessageStats& stats_;
+  SimTime per_hop_delay_;
+};
+
+}  // namespace qip

@@ -1,0 +1,33 @@
+#include "quorum/dynamic_linear.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+std::uint32_t quorum_threshold(std::uint32_t group_size,
+                               bool has_distinguished) {
+  QIP_ASSERT(group_size >= 1);
+  const std::uint32_t strict_majority = group_size / 2 + 1;
+  if (!has_distinguished) return strict_majority;
+  if (group_size % 2 == 0) return group_size / 2;
+  return strict_majority;
+}
+
+bool is_quorum(std::uint32_t group_size,
+               const std::vector<std::uint32_t>& responders,
+               std::optional<std::uint32_t> distinguished) {
+  QIP_ASSERT(group_size >= 1);
+  QIP_ASSERT_MSG(responders.size() <= group_size,
+                 "more responders than voters");
+  const auto n = static_cast<std::uint32_t>(responders.size());
+  if (2 * n > group_size) return true;  // strict majority
+  if (2 * n == group_size && distinguished.has_value()) {
+    return std::find(responders.begin(), responders.end(), *distinguished) !=
+           responders.end();
+  }
+  return false;
+}
+
+}  // namespace qip

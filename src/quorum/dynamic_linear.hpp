@@ -1,0 +1,32 @@
+// Dynamic linear voting (Jajodia & Mutchler, VLDB'87) as used in §II-D.
+//
+// Under plain majority voting a subset containing exactly half the voters is
+// never a quorum.  Dynamic linear voting designates a *distinguished node*
+// (here: the cluster head whose IPSpace owns the address under vote) and
+// accepts an exactly-half subset iff it contains the distinguished node.
+// This strictly increases availability without breaking intersection: two
+// half-sets both claiming quorum would both need the one distinguished node.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace qip {
+
+/// Decides whether `responders` (a subset of a replica group of size
+/// `group_size`) constitutes a quorum.
+///
+/// `distinguished` is the id of the distinguished voter, if the caller uses
+/// dynamic linear voting; std::nullopt falls back to strict majority.
+bool is_quorum(std::uint32_t group_size,
+               const std::vector<std::uint32_t>& responders,
+               std::optional<std::uint32_t> distinguished = std::nullopt);
+
+/// Number of confirmations required from a group of `group_size` voters when
+/// the caller already knows whether the distinguished voter is among the
+/// confirmed set.  With `has_distinguished`, an even group needs only
+/// group_size/2 votes; otherwise ⌊group_size/2⌋+1.
+std::uint32_t quorum_threshold(std::uint32_t group_size, bool has_distinguished);
+
+}  // namespace qip

@@ -1,0 +1,109 @@
+#include "quorum/quorum_system.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+namespace {
+
+constexpr std::size_t kMaxUniverse = 20;  // 2^20 subsets worst case
+
+/// Emits all size-k subsets of `universe` into `out`.
+void enumerate_subsets(const std::vector<std::uint32_t>& universe,
+                       std::size_t k, std::vector<QuorumSet>& out) {
+  const std::size_t n = universe.size();
+  QIP_ASSERT(k <= n);
+  QuorumSet current;
+  current.reserve(k);
+  // Iterative combination enumeration via index vector.
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    current.clear();
+    for (std::size_t i : idx) current.push_back(universe[i]);
+    out.push_back(current);
+    // Advance to next combination.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return;
+    }
+    if (k == 0) return;
+  }
+}
+
+}  // namespace
+
+QuorumSystem QuorumSystem::majority(std::vector<std::uint32_t> universe) {
+  QIP_ASSERT(!universe.empty());
+  QIP_ASSERT_MSG(universe.size() <= kMaxUniverse, "universe too large");
+  std::sort(universe.begin(), universe.end());
+  QIP_ASSERT_MSG(
+      std::adjacent_find(universe.begin(), universe.end()) == universe.end(),
+      "duplicate universe element");
+  QuorumSystem qs;
+  qs.universe_ = std::move(universe);
+  const std::size_t k = qs.universe_.size() / 2 + 1;
+  enumerate_subsets(qs.universe_, k, qs.quorums_);
+  return qs;
+}
+
+QuorumSystem QuorumSystem::dynamic_linear(std::vector<std::uint32_t> universe,
+                                          std::uint32_t distinguished) {
+  QuorumSystem qs = majority(std::move(universe));
+  QIP_ASSERT_MSG(std::binary_search(qs.universe_.begin(), qs.universe_.end(),
+                                    distinguished),
+                 "distinguished node not in universe");
+  const std::size_t n = qs.universe_.size();
+  if (n % 2 == 0) {
+    // Exactly-half subsets containing the distinguished node replace the
+    // majority sets that extend them; we simply add them (the system remains
+    // intersecting, and covers_quorum naturally prefers the smaller sets).
+    std::vector<QuorumSet> halves;
+    enumerate_subsets(qs.universe_, n / 2, halves);
+    for (auto& h : halves) {
+      if (std::binary_search(h.begin(), h.end(), distinguished))
+        qs.quorums_.push_back(std::move(h));
+    }
+  }
+  return qs;
+}
+
+bool QuorumSystem::pairwise_intersecting() const {
+  for (std::size_t i = 0; i < quorums_.size(); ++i) {
+    for (std::size_t j = i + 1; j < quorums_.size(); ++j) {
+      std::vector<std::uint32_t> overlap;
+      std::set_intersection(quorums_[i].begin(), quorums_[i].end(),
+                            quorums_[j].begin(), quorums_[j].end(),
+                            std::back_inserter(overlap));
+      if (overlap.empty()) return false;
+    }
+  }
+  return true;
+}
+
+bool QuorumSystem::covers_quorum(const QuorumSet& subset) const {
+  QuorumSet sorted = subset;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& q : quorums_) {
+    if (std::includes(sorted.begin(), sorted.end(), q.begin(), q.end()))
+      return true;
+  }
+  return false;
+}
+
+std::size_t QuorumSystem::min_quorum_size() const {
+  QIP_ASSERT(!quorums_.empty());
+  std::size_t best = quorums_.front().size();
+  for (const auto& q : quorums_) best = std::min(best, q.size());
+  return best;
+}
+
+}  // namespace qip

@@ -1,0 +1,46 @@
+// Explicit quorum systems over small universes (Definition 1, §II-C).
+//
+// The protocol itself only needs the counting rules in voting.hpp /
+// dynamic_linear.hpp, but the explicit set-system view is what the paper's
+// Definition 1 and Figure 1 describe, and it is the natural object to
+// property-test (pairwise intersection, minimality).  Universes here are the
+// QDSets of individual cluster heads, i.e. a handful of elements, so the
+// exponential enumeration is fine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qip {
+
+using QuorumSet = std::vector<std::uint32_t>;  // sorted member ids
+
+class QuorumSystem {
+ public:
+  /// Builds the majority quorum system over `universe`: all minimal subsets
+  /// of size ⌊n/2⌋+1.  Universe size is capped (enumeration is exponential).
+  static QuorumSystem majority(std::vector<std::uint32_t> universe);
+
+  /// Builds the dynamic-linear system: minimal majorities plus, for even n,
+  /// the exactly-half subsets containing `distinguished`.
+  static QuorumSystem dynamic_linear(std::vector<std::uint32_t> universe,
+                                     std::uint32_t distinguished);
+
+  const std::vector<std::uint32_t>& universe() const { return universe_; }
+  const std::vector<QuorumSet>& quorums() const { return quorums_; }
+
+  /// Definition 1: every pair of quorums intersects.
+  bool pairwise_intersecting() const;
+
+  /// True if `subset` (sorted or not) contains some quorum.
+  bool covers_quorum(const QuorumSet& subset) const;
+
+  /// Smallest quorum cardinality.
+  std::size_t min_quorum_size() const;
+
+ private:
+  std::vector<std::uint32_t> universe_;
+  std::vector<QuorumSet> quorums_;
+};
+
+}  // namespace qip

@@ -1,0 +1,28 @@
+#include "quorum/voting.hpp"
+
+namespace qip {
+
+QuorumSpec QuorumSpec::minimal(std::uint32_t v) {
+  QIP_ASSERT(v >= 1);
+  QuorumSpec spec;
+  spec.total_votes = v;
+  spec.write_quorum = v / 2 + 1;
+  spec.read_quorum = v - spec.write_quorum + 1;
+  QIP_ASSERT(spec.valid());
+  return spec;
+}
+
+void VoteCounter::confirm(std::uint64_t timestamp) {
+  QIP_ASSERT_MSG(outstanding_ > 0, "confirmation after all responses counted");
+  --outstanding_;
+  ++confirmations_;
+  if (timestamp > latest_timestamp_) latest_timestamp_ = timestamp;
+}
+
+void VoteCounter::deny() {
+  QIP_ASSERT_MSG(outstanding_ > 0, "denial after all responses counted");
+  --outstanding_;
+  ++denials_;
+}
+
+}  // namespace qip

@@ -1,0 +1,76 @@
+// Quorum-voting arithmetic (§II-C).
+//
+// A replica group of v voters supports consistent reads/writes when the
+// write quorum w and read quorum r satisfy
+//     w > v/2    and    r + w > v.
+// We use the minimal such quorums: w = ⌊v/2⌋ + 1 and r = v − w + 1.  Every
+// read then intersects every write, and two writes intersect each other, so
+// at most one allocator can commit a given address — the paper's uniqueness
+// argument.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+/// Quorum sizes for a replica group of `total_votes` voters.
+struct QuorumSpec {
+  std::uint32_t total_votes = 0;
+  std::uint32_t write_quorum = 0;
+  std::uint32_t read_quorum = 0;
+
+  /// Minimal read/write quorums for `v` voters (v >= 1).
+  static QuorumSpec minimal(std::uint32_t v);
+
+  /// The two safety conditions from §II-C.
+  bool valid() const {
+    return total_votes > 0 && write_quorum * 2 > total_votes &&
+           read_quorum + write_quorum > total_votes &&
+           write_quorum <= total_votes && read_quorum <= total_votes &&
+           read_quorum >= 1;
+  }
+};
+
+/// Tallies confirmations for one quorum-collection round.
+///
+/// The allocator itself always holds one vote (it stores a copy of every
+/// block it arbitrates), so callers construct the counter with the allocator
+/// vote pre-counted when appropriate.
+class VoteCounter {
+ public:
+  VoteCounter(std::uint32_t needed, std::uint32_t outstanding)
+      : needed_(needed), outstanding_(outstanding) {}
+
+  /// Records one confirmation carrying the responder's record timestamp.
+  void confirm(std::uint64_t timestamp);
+  /// Records an explicit rejection or timeout.
+  void deny();
+
+  std::uint32_t confirmations() const { return confirmations_; }
+  std::uint32_t denials() const { return denials_; }
+  std::uint32_t outstanding() const { return outstanding_; }
+  std::uint32_t needed() const { return needed_; }
+
+  /// Latest timestamp observed among confirmations (0 if none).
+  std::uint64_t latest_timestamp() const { return latest_timestamp_; }
+
+  bool reached() const { return confirmations_ >= needed_; }
+  /// True once success has become impossible (too many denials).
+  bool failed() const {
+    return confirmations_ + outstanding_ < needed_;
+  }
+  /// All responses in (success or failure decided).
+  bool settled() const { return reached() || failed() || outstanding_ == 0; }
+
+ private:
+  std::uint32_t needed_;
+  std::uint32_t outstanding_;
+  std::uint32_t confirmations_ = 0;
+  std::uint32_t denials_ = 0;
+  std::uint64_t latest_timestamp_ = 0;
+};
+
+}  // namespace qip

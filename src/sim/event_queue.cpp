@@ -1,0 +1,43 @@
+#include "sim/event_queue.hpp"
+
+namespace qip {
+
+EventHandle EventQueue::schedule(SimTime at, std::function<void()> fn) {
+  QIP_ASSERT(fn != nullptr);
+  auto flag = std::make_shared<bool>(false);
+  heap_.push(Entry{at, next_seq_++, std::move(fn), flag});
+  return EventHandle(std::move(flag));
+}
+
+void EventQueue::skim() const {
+  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() const {
+  skim();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  skim();
+  QIP_ASSERT_MSG(!heap_.empty(), "next_time on empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skim();
+  QIP_ASSERT_MSG(!heap_.empty(), "pop on empty queue");
+  // const_cast is safe: the entry is removed immediately after the move and
+  // heap ordering does not inspect `fn`.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, std::move(top.fn)};
+  *top.cancelled = true;  // stale handles now report !pending()
+  heap_.pop();
+  return fired;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace qip

@@ -1,0 +1,89 @@
+// Pending-event set for the discrete-event simulator.
+//
+// Events at equal timestamps execute in insertion order (a strictly
+// increasing sequence number breaks ties), which keeps runs deterministic —
+// a property every experiment in the reproduction depends on.  Cancellation
+// is O(1): entries carry a tombstone flag and are dropped lazily when they
+// surface at the top of the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+/// Simulation clock, in seconds.
+using SimTime = double;
+
+/// Opaque handle for cancelling a scheduled event.  Default-constructed
+/// handles are inert; cancelling twice (or after firing) is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event is still scheduled (not fired, not cancelled).
+  bool pending() const { return flag_ && !*flag_; }
+
+  /// Marks the event dead; the queue drops it lazily.
+  void cancel() {
+    if (flag_) *flag_ = true;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> flag) : flag_(std::move(flag)) {}
+  std::shared_ptr<bool> flag_;
+};
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at`.
+  EventHandle schedule(SimTime at, std::function<void()> fn);
+
+  /// Exact: true iff no live (uncancelled) event remains.
+  bool empty() const;
+
+  /// Upper bound on live events (cancelled entries buried in the heap are
+  /// counted until they surface).
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest live event; queue must be non-empty.
+  SimTime next_time() const;
+
+  /// Pops and returns the earliest live event.
+  struct Fired {
+    SimTime time;
+    std::function<void()> fn;
+  };
+  Fired pop();
+
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drops cancelled entries from the top of the heap.  If every remaining
+  /// entry is cancelled this empties the heap, so empty() is exact.
+  void skim() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace qip

@@ -1,0 +1,32 @@
+#include "sim/simulator.hpp"
+
+namespace qip {
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  QIP_ASSERT_MSG(fired.time >= now_, "event time regressed");
+  now_ = fired.time;
+  ++executed_;
+  fired.fn();
+  return true;
+}
+
+std::uint64_t Simulator::run(SimTime horizon) {
+  std::uint64_t count = 0;
+  stopping_ = false;
+  while (!queue_.empty() && !stopping_) {
+    if (queue_.next_time() > horizon) break;
+    step();
+    ++count;
+  }
+  // Even when no event ran at the horizon itself, the clock advances to it so
+  // callers can interleave run() with direct state inspection at fixed times.
+  if (!stopping_ && horizon != std::numeric_limits<SimTime>::infinity() &&
+      now_ < horizon) {
+    now_ = horizon;
+  }
+  return count;
+}
+
+}  // namespace qip

@@ -1,0 +1,60 @@
+// Discrete-event simulator core: a virtual clock driving an event queue.
+//
+// All protocol logic runs as event callbacks; the simulator is strictly
+// single-threaded and deterministic.  Time only moves forward; scheduling
+// into the past is an invariant violation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+
+namespace qip {
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+  std::uint64_t events_executed() const { return executed_; }
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventHandle after(SimTime delay, std::function<void()> fn) {
+    QIP_ASSERT_MSG(delay >= 0.0, "negative delay " << delay);
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `at` (at >= now()).
+  EventHandle at(SimTime at, std::function<void()> fn) {
+    QIP_ASSERT_MSG(at >= now_, "scheduling into the past: " << at << " < "
+                                                            << now_);
+    return queue_.schedule(at, std::move(fn));
+  }
+
+  /// Executes the single earliest event; returns false when idle.
+  bool step();
+
+  /// Runs until the queue drains or `horizon` is reached (events exactly at
+  /// the horizon still run).  Returns the number of events executed.
+  std::uint64_t run(SimTime horizon = std::numeric_limits<SimTime>::infinity());
+
+  /// Requests run()/step() to stop after the current event returns.
+  void stop() { stopping_ = true; }
+
+  /// Drops all pending events and resets the stop flag (the clock keeps its
+  /// value so re-scheduling remains monotonic).
+  void reset_events() {
+    queue_.clear();
+    stopping_ = false;
+  }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t executed_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace qip

@@ -1,0 +1,60 @@
+// Lightweight always-on assertion macros.
+//
+// Simulation correctness depends on internal invariants (quorum intersection,
+// address-block disjointness, event ordering).  These checks are cheap
+// relative to the simulation work, so they stay enabled in release builds;
+// QIP_DCHECK compiles away outside debug builds for hot-path checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qip {
+
+/// Thrown when an invariant check fails.  Tests assert on this type so that
+/// deliberately-broken preconditions are observable without aborting.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace qip
+
+/// Always-on invariant check.  Throws qip::InvariantViolation on failure.
+#define QIP_ASSERT(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) ::qip::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Always-on invariant check with a context message (streamed).
+#define QIP_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream qip_assert_os;                               \
+      qip_assert_os << msg;                                           \
+      ::qip::detail::assert_fail(#expr, __FILE__, __LINE__,           \
+                                 qip_assert_os.str());                \
+    }                                                                 \
+  } while (0)
+
+/// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define QIP_DCHECK(expr) QIP_ASSERT(expr)
+#else
+#define QIP_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#endif

@@ -1,0 +1,41 @@
+#include "util/csv.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace qip {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << escape(cells[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::string& label,
+                          const std::vector<double>& values) {
+  *out_ << escape(label);
+  std::ostringstream os;
+  for (double v : values) {
+    os.str("");
+    os << v;
+    *out_ << ',' << os.str();
+  }
+  *out_ << '\n';
+}
+
+}  // namespace qip

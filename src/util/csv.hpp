@@ -1,0 +1,26 @@
+// CSV emission for experiment results (machine-readable companion to the
+// ASCII tables).  Quoting follows RFC 4180: fields containing comma, quote or
+// newline are quoted and embedded quotes doubled.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qip {
+
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(const std::string& label, const std::vector<double>& values);
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace qip

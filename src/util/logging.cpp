@@ -1,0 +1,35 @@
+#include "util/logging.hpp"
+
+namespace qip {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (level >= LogLevel::kWarn && level < LogLevel::kOff) ++warnings_;
+  if (!enabled(level)) return;
+  std::ostream& out = sink_ ? *sink_ : std::cerr;
+  out << '[' << to_string(level) << "] " << message << '\n';
+}
+
+}  // namespace qip

@@ -1,0 +1,86 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded by design (discrete-event), so the logger
+// performs no locking.  Protocol modules log through QIP_LOG(level) which
+// formats lazily: when the level is filtered out the stream expression is
+// never evaluated.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace qip {
+
+enum class LogLevel : int {
+  kTrace = 0,  ///< per-message protocol traces
+  kDebug = 1,  ///< per-operation summaries
+  kInfo = 2,   ///< scenario milestones
+  kWarn = 3,   ///< recoverable anomalies (e.g. failed quorum)
+  kError = 4,  ///< unrecoverable protocol errors
+  kOff = 5,
+};
+
+const char* to_string(LogLevel level);
+
+/// Global logger configuration. Sinks default to stderr.
+class Logger {
+ public:
+  static Logger& instance();
+
+  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+
+  /// Redirects output (tests capture logs this way); pass nullptr to restore
+  /// stderr.
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& message);
+
+  /// Number of messages emitted at >= warn since construction; tests use this
+  /// to assert that clean scenarios stay clean.
+  std::uint64_t warning_count() const { return warnings_; }
+  void reset_counters() { warnings_ = 0; }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_ = nullptr;
+  std::uint64_t warnings_ = 0;
+};
+
+namespace detail {
+/// Accumulates one log statement and flushes on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace qip
+
+#define QIP_LOG(level)                                  \
+  if (!::qip::Logger::instance().enabled(level)) {      \
+  } else                                                \
+    ::qip::detail::LogLine(level)
+
+#define QIP_TRACE QIP_LOG(::qip::LogLevel::kTrace)
+#define QIP_DEBUG QIP_LOG(::qip::LogLevel::kDebug)
+#define QIP_INFO QIP_LOG(::qip::LogLevel::kInfo)
+#define QIP_WARN QIP_LOG(::qip::LogLevel::kWarn)
+#define QIP_ERROR QIP_LOG(::qip::LogLevel::kError)

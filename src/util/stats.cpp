@@ -1,0 +1,109 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::sem() const {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void Histogram::add(std::int64_t value, std::uint64_t weight) {
+  counts_[value] += weight;
+  total_ += weight;
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (const auto& [value, count] : counts_)
+    acc += static_cast<double>(value) * static_cast<double>(count);
+  return acc / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::min() const {
+  QIP_ASSERT(!empty());
+  return counts_.begin()->first;
+}
+
+std::int64_t Histogram::max() const {
+  QIP_ASSERT(!empty());
+  return counts_.rbegin()->first;
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  QIP_ASSERT(!empty());
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (const auto& [value, count] : counts_) {
+    seen += count;
+    if (seen >= rank) return value;
+  }
+  return counts_.rbegin()->first;
+}
+
+Summary summarize(const RunningStats& stats) {
+  Summary s;
+  s.mean = stats.mean();
+  s.ci95 = stats.ci95();
+  s.min = stats.min();
+  s.max = stats.max();
+  s.rounds = stats.count();
+  return s;
+}
+
+std::string format_summary(const Summary& s) {
+  char buf[64];
+  if (s.ci95 > 0.0) {
+    std::snprintf(buf, sizeof buf, "%.2f ±%.2f", s.mean, s.ci95);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", s.mean);
+  }
+  return buf;
+}
+
+}  // namespace qip

@@ -1,0 +1,78 @@
+// Streaming statistics used by the experiment harness.
+//
+// RunningStats uses Welford's algorithm so multi-thousand-round sweeps stay
+// numerically stable; Histogram tracks integer-valued hop counts; Summary is
+// the value type figures report (mean ± 95% CI over rounds).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qip {
+
+/// Welford single-pass mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::uint64_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double sem() const;
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95() const { return 1.96 * sem(); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact histogram over integer observations (hop counts, quorum sizes).
+class Histogram {
+ public:
+  void add(std::int64_t value, std::uint64_t weight = 1);
+
+  std::uint64_t total() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  double mean() const;
+  std::int64_t min() const;
+  std::int64_t max() const;
+  /// Value at quantile q in [0,1] (nearest-rank; q=0.5 is the median).
+  std::int64_t quantile(double q) const;
+  const std::map<std::int64_t, std::uint64_t>& buckets() const {
+    return counts_;
+  }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Final statistic reported for one data point of a figure.
+struct Summary {
+  double mean = 0.0;
+  double ci95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::uint64_t rounds = 0;
+};
+
+Summary summarize(const RunningStats& stats);
+
+/// Formats "12.34 ±0.56" with sensible precision for tables.
+std::string format_summary(const Summary& s);
+
+}  // namespace qip

@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  QIP_ASSERT(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  QIP_ASSERT_MSG(row.size() == header_.size(),
+                 "row has " << row.size() << " cells, header has "
+                            << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row(const std::string& label,
+                        const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(format_double(v, precision));
+  add_row(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size())
+        os << std::string(width[c] - cells[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::vector<std::string> rule;
+  rule.reserve(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    rule.push_back(std::string(width[c], '-'));
+  emit(rule);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& out) const { out << render(); }
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string render_figure(const std::string& title, const std::string& x_name,
+                          const std::vector<double>& x,
+                          const std::vector<Series>& series, int precision) {
+  for (const auto& s : series)
+    QIP_ASSERT_MSG(s.y.size() == x.size(),
+                   "series '" << s.name << "' has " << s.y.size()
+                              << " points for " << x.size() << " x values");
+  std::vector<std::string> header{x_name};
+  for (const auto& s : series) header.push_back(s.name);
+  TextTable table(std::move(header));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::vector<std::string> row{format_double(x[i], 0)};
+    for (const auto& s : series)
+      row.push_back(format_double(s.y[i], precision));
+    table.add_row(std::move(row));
+  }
+  std::ostringstream os;
+  os << "== " << title << " ==\n" << table.render();
+  return os.str();
+}
+
+}  // namespace qip

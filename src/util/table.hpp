@@ -1,0 +1,55 @@
+// ASCII table / series rendering for the figure-reproduction benches.
+//
+// Every bench binary prints the same rows/series the paper plots, as an
+// aligned text table plus an optional gnuplot-style series block, so the
+// paper's figures can be regenerated without any plotting dependency.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qip {
+
+/// A rectangular table with a header row; columns are auto-sized.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each double with the given precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a separator under the header, e.g.
+  ///   nn    QIP    MANETconf
+  ///   ----  -----  ---------
+  ///   50    4.12   9.87
+  std::string render() const;
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One plotted line of a figure: y values over the shared x axis.
+struct Series {
+  std::string name;
+  std::vector<double> y;
+};
+
+/// Renders a figure as a table of x vs. one column per series, prefixed with
+/// the figure title, matching the layout used in EXPERIMENTS.md.
+std::string render_figure(const std::string& title, const std::string& x_name,
+                          const std::vector<double>& x,
+                          const std::vector<Series>& series,
+                          int precision = 2);
+
+/// Formats a double with fixed precision (helper shared by benches).
+std::string format_double(double v, int precision = 2);
+
+}  // namespace qip

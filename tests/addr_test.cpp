@@ -1,0 +1,358 @@
+// Unit tests for addresses, interval blocks and allocation tables.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "addr/address_block.hpp"
+#include "addr/allocation_table.hpp"
+#include "addr/ip_address.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace qip {
+namespace {
+
+TEST(IpAddress, Formatting) {
+  EXPECT_EQ(IpAddress(10, 0, 1, 200).to_string(), "10.0.1.200");
+  EXPECT_EQ(IpAddress(0).to_string(), "0.0.0.0");
+  EXPECT_EQ(kPoolBase.to_string(), "10.0.0.0");
+}
+
+TEST(IpAddress, OrderingAndSuccessor) {
+  const IpAddress a(10, 0, 0, 255);
+  EXPECT_LT(a, a.next());
+  EXPECT_EQ(a.next().to_string(), "10.0.1.0");
+  EXPECT_EQ(a.next().prev(), a);
+}
+
+// ---------------------------------------------------------------------------
+// AddressBlock
+// ---------------------------------------------------------------------------
+
+TEST(AddressBlock, ContiguousBasics) {
+  const auto b = AddressBlock::contiguous(kPoolBase, 256);
+  EXPECT_EQ(b.size(), 256u);
+  EXPECT_EQ(b.lowest(), kPoolBase);
+  EXPECT_EQ(b.highest().to_string(), "10.0.0.255");
+  EXPECT_TRUE(b.contains(IpAddress(10, 0, 0, 128)));
+  EXPECT_FALSE(b.contains(IpAddress(10, 0, 1, 0)));
+}
+
+TEST(AddressBlock, InsertCoalesces) {
+  AddressBlock b;
+  b.insert(IpAddress(10, 0, 0, 1));
+  b.insert(IpAddress(10, 0, 0, 3));
+  EXPECT_EQ(b.ranges().size(), 2u);
+  b.insert(IpAddress(10, 0, 0, 2));  // bridges the gap
+  EXPECT_EQ(b.ranges().size(), 1u);
+  EXPECT_EQ(b.size(), 3u);
+}
+
+TEST(AddressBlock, InsertOverlapThrows) {
+  AddressBlock b(kPoolBase, IpAddress(10, 0, 0, 10));
+  EXPECT_THROW(b.insert(IpAddress(10, 0, 0, 5)), InvariantViolation);
+  EXPECT_THROW(b.insert({IpAddress(10, 0, 0, 8), IpAddress(10, 0, 0, 12)}),
+               InvariantViolation);
+}
+
+TEST(AddressBlock, EraseSplitsRange) {
+  AddressBlock b(kPoolBase, IpAddress(10, 0, 0, 9));
+  b.erase(IpAddress(10, 0, 0, 5));
+  EXPECT_EQ(b.size(), 9u);
+  EXPECT_EQ(b.ranges().size(), 2u);
+  EXPECT_FALSE(b.contains(IpAddress(10, 0, 0, 5)));
+  EXPECT_THROW(b.erase(IpAddress(10, 0, 0, 5)), InvariantViolation);
+}
+
+TEST(AddressBlock, EraseEndsKeepRange) {
+  AddressBlock b(kPoolBase, IpAddress(10, 0, 0, 9));
+  b.erase(kPoolBase);
+  b.erase(IpAddress(10, 0, 0, 9));
+  EXPECT_EQ(b.ranges().size(), 1u);
+  EXPECT_EQ(b.lowest(), IpAddress(10, 0, 0, 1));
+  EXPECT_EQ(b.highest(), IpAddress(10, 0, 0, 8));
+}
+
+TEST(AddressBlock, EraseRange) {
+  AddressBlock b(kPoolBase, IpAddress(10, 0, 0, 255));
+  b.erase({IpAddress(10, 0, 0, 64), IpAddress(10, 0, 0, 127)});
+  EXPECT_EQ(b.size(), 192u);
+  EXPECT_FALSE(b.contains(IpAddress(10, 0, 0, 100)));
+  EXPECT_THROW(b.erase({IpAddress(10, 0, 0, 60), IpAddress(10, 0, 0, 70)}),
+               InvariantViolation);
+}
+
+TEST(AddressBlock, PopLowestDrains) {
+  AddressBlock b(kPoolBase, IpAddress(10, 0, 0, 2));
+  EXPECT_EQ(b.pop_lowest(), kPoolBase);
+  EXPECT_EQ(b.pop_lowest(), IpAddress(10, 0, 0, 1));
+  EXPECT_EQ(b.pop_lowest(), IpAddress(10, 0, 0, 2));
+  EXPECT_TRUE(b.empty());
+  EXPECT_THROW(b.pop_lowest(), InvariantViolation);
+}
+
+TEST(AddressBlock, SplitHalfKeepsLowAndIdentity) {
+  auto b = AddressBlock::contiguous(kPoolBase, 256);
+  const IpAddress low = b.lowest();
+  const AddressBlock upper = b.split_half();
+  EXPECT_EQ(b.size(), 128u);
+  EXPECT_EQ(upper.size(), 128u);
+  EXPECT_EQ(b.lowest(), low);
+  EXPECT_TRUE(b.disjoint_with(upper));
+  EXPECT_EQ(upper.lowest(), IpAddress(10, 0, 0, 128));
+}
+
+TEST(AddressBlock, SplitHalfOddSize) {
+  auto b = AddressBlock::contiguous(kPoolBase, 7);
+  const AddressBlock upper = b.split_half();
+  EXPECT_EQ(b.size(), 4u);  // lower keeps the ceiling half
+  EXPECT_EQ(upper.size(), 3u);
+}
+
+TEST(AddressBlock, SplitHalfFragmented) {
+  AddressBlock b;
+  for (std::uint32_t i = 0; i < 20; i += 2) {
+    b.insert(IpAddress(kPoolBase.value() + i));
+  }
+  const std::uint64_t before = b.size();
+  const AddressBlock upper = b.split_half();
+  EXPECT_EQ(b.size() + upper.size(), before);
+  EXPECT_TRUE(b.disjoint_with(upper));
+  EXPECT_LT(b.highest(), upper.lowest());
+}
+
+TEST(AddressBlock, SplitTooSmallThrows) {
+  AddressBlock b(kPoolBase, kPoolBase);
+  EXPECT_THROW(b.split_half(), InvariantViolation);
+}
+
+TEST(AddressBlock, MergeDisjoint) {
+  AddressBlock a(kPoolBase, IpAddress(10, 0, 0, 9));
+  AddressBlock b(IpAddress(10, 0, 0, 10), IpAddress(10, 0, 0, 19));
+  a.merge(b);
+  EXPECT_EQ(a.size(), 20u);
+  EXPECT_EQ(a.ranges().size(), 1u);  // coalesced
+}
+
+TEST(AddressBlock, MinusBasics) {
+  AddressBlock a(kPoolBase, IpAddress(10, 0, 0, 9));
+  AddressBlock b(IpAddress(10, 0, 0, 3), IpAddress(10, 0, 0, 6));
+  const AddressBlock diff = a.minus(b);
+  EXPECT_EQ(diff.size(), 6u);
+  EXPECT_TRUE(diff.contains(IpAddress(10, 0, 0, 2)));
+  EXPECT_FALSE(diff.contains(IpAddress(10, 0, 0, 4)));
+  EXPECT_TRUE(diff.disjoint_with(b));
+}
+
+TEST(AddressBlock, MinusDisjointIsIdentity) {
+  AddressBlock a(kPoolBase, IpAddress(10, 0, 0, 9));
+  AddressBlock b(IpAddress(10, 0, 1, 0), IpAddress(10, 0, 1, 9));
+  EXPECT_EQ(a.minus(b), a);
+  EXPECT_TRUE(a.minus(a).empty());
+}
+
+TEST(AddressBlock, ContainsAll) {
+  AddressBlock a(kPoolBase, IpAddress(10, 0, 0, 100));
+  AddressBlock sub(IpAddress(10, 0, 0, 10), IpAddress(10, 0, 0, 20));
+  EXPECT_TRUE(a.contains_all(sub));
+  AddressBlock crossing(IpAddress(10, 0, 0, 90), IpAddress(10, 0, 0, 110));
+  EXPECT_FALSE(a.contains_all(crossing));
+}
+
+TEST(AddressBlock, ToStringRendersRanges) {
+  AddressBlock b;
+  b.insert(kPoolBase);
+  b.insert({IpAddress(10, 0, 0, 5), IpAddress(10, 0, 0, 7)});
+  const std::string s = b.to_string();
+  EXPECT_NE(s.find("[10.0.0.0]"), std::string::npos);
+  EXPECT_NE(s.find("[10.0.0.5-10.0.0.7]"), std::string::npos);
+}
+
+/// Property: block operations agree with a std::set reference model.
+class AddressBlockProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AddressBlockProperty, MatchesSetModel) {
+  Rng rng(GetParam());
+  AddressBlock block;
+  std::set<std::uint32_t> model;
+  constexpr std::uint32_t kSpan = 512;
+  for (int step = 0; step < 2000; ++step) {
+    const std::uint32_t v =
+        kPoolBase.value() + static_cast<std::uint32_t>(rng.below(kSpan));
+    const IpAddress a(v);
+    switch (rng.below(4)) {
+      case 0:  // insert if absent
+        if (!model.count(v)) {
+          block.insert(a);
+          model.insert(v);
+        }
+        break;
+      case 1:  // erase if present
+        if (model.count(v)) {
+          block.erase(a);
+          model.erase(v);
+        }
+        break;
+      case 2:  // membership must agree
+        EXPECT_EQ(block.contains(a), model.count(v) != 0);
+        break;
+      case 3:  // pop_lowest must agree
+        if (!model.empty()) {
+          EXPECT_EQ(block.pop_lowest().value(), *model.begin());
+          model.erase(model.begin());
+        }
+        break;
+    }
+    ASSERT_EQ(block.size(), model.size());
+  }
+  // Final full sweep.
+  for (std::uint32_t v = kPoolBase.value(); v < kPoolBase.value() + kSpan;
+       ++v) {
+    ASSERT_EQ(block.contains(IpAddress(v)), model.count(v) != 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddressBlockProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+/// Property: minus/contains_all agree with the std::set reference model.
+class MinusProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MinusProperty, MatchesSetModel) {
+  Rng rng(GetParam());
+  constexpr std::uint32_t kSpan = 256;
+  for (int round = 0; round < 20; ++round) {
+    AddressBlock a, b;
+    std::set<std::uint32_t> ma, mb;
+    for (int i = 0; i < 120; ++i) {
+      const std::uint32_t v =
+          kPoolBase.value() + static_cast<std::uint32_t>(rng.below(kSpan));
+      if (rng.chance(0.5) && !ma.count(v)) {
+        a.insert(IpAddress(v));
+        ma.insert(v);
+      }
+      const std::uint32_t w =
+          kPoolBase.value() + static_cast<std::uint32_t>(rng.below(kSpan));
+      if (rng.chance(0.5) && !mb.count(w)) {
+        b.insert(IpAddress(w));
+        mb.insert(w);
+      }
+    }
+    const AddressBlock diff = a.minus(b);
+    std::uint64_t expected = 0;
+    for (std::uint32_t v : ma) {
+      const bool in_diff = diff.contains(IpAddress(v));
+      EXPECT_EQ(in_diff, mb.count(v) == 0) << IpAddress(v);
+      if (!mb.count(v)) ++expected;
+    }
+    EXPECT_EQ(diff.size(), expected);
+    EXPECT_TRUE(a.contains_all(diff));
+    EXPECT_TRUE(diff.disjoint_with(b));
+    // contains_all agrees with subset relation on the models.
+    const bool subset =
+        std::includes(ma.begin(), ma.end(), mb.begin(), mb.end());
+    EXPECT_EQ(a.contains_all(b), subset);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinusProperty,
+                         ::testing::Values(21, 42, 63, 84));
+
+/// Property: split_half then merge round-trips.
+class SplitMergeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SplitMergeProperty, RoundTrips) {
+  Rng rng(GetParam());
+  AddressBlock b;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t v =
+        kPoolBase.value() + static_cast<std::uint32_t>(rng.below(1024));
+    if (!b.contains(IpAddress(v))) b.insert(IpAddress(v));
+  }
+  const AddressBlock original = b;
+  AddressBlock upper = b.split_half();
+  EXPECT_TRUE(b.disjoint_with(upper));
+  b.merge(upper);
+  EXPECT_EQ(b, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitMergeProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// AllocationTable
+// ---------------------------------------------------------------------------
+
+TEST(AllocationTable, ImplicitFreeRecord) {
+  AllocationTable t;
+  const auto rec = t.get(kPoolBase);
+  EXPECT_EQ(rec.status, AddressStatus::kFree);
+  EXPECT_EQ(rec.timestamp, 0u);
+  EXPECT_FALSE(t.allocated(kPoolBase));
+  EXPECT_EQ(t.entries(), 0u);
+}
+
+TEST(AllocationTable, CommitAllocateBumpsTimestamp) {
+  AllocationTable t;
+  const auto rec = t.commit_allocate(kPoolBase, 7, 0);
+  EXPECT_EQ(rec.status, AddressStatus::kAllocated);
+  EXPECT_EQ(rec.holder, 7u);
+  EXPECT_EQ(rec.timestamp, 1u);
+  const auto rec2 = t.commit_free(kPoolBase, 5);  // newer quorum info
+  EXPECT_EQ(rec2.timestamp, 6u);
+  EXPECT_FALSE(t.allocated(kPoolBase));
+}
+
+TEST(AllocationTable, DoubleAllocateSameHolderOk) {
+  AllocationTable t;
+  t.commit_allocate(kPoolBase, 7, 0);
+  EXPECT_NO_THROW(t.commit_allocate(kPoolBase, 7, 1));
+  EXPECT_THROW(t.commit_allocate(kPoolBase, 9, 2), InvariantViolation);
+}
+
+TEST(AllocationTable, AdoptIfNewer) {
+  AllocationTable t;
+  t.commit_allocate(kPoolBase, 3, 0);  // ts 1
+  AddressRecord stale{AddressStatus::kFree, 0, 0};
+  EXPECT_FALSE(t.adopt_if_newer(kPoolBase, stale));
+  AddressRecord fresh{AddressStatus::kFree, 9, 0};
+  EXPECT_TRUE(t.adopt_if_newer(kPoolBase, fresh));
+  EXPECT_FALSE(t.allocated(kPoolBase));
+}
+
+TEST(AllocationTable, MergeNewerCounts) {
+  AllocationTable a, b;
+  a.commit_allocate(kPoolBase, 1, 0);                   // ts 1
+  b.commit_allocate(kPoolBase, 1, 5);                   // ts 6 (newer)
+  b.commit_allocate(IpAddress(10, 0, 0, 1), 2, 0);      // new addr
+  EXPECT_EQ(a.merge_newer(b), 2u);
+  EXPECT_EQ(a.get(kPoolBase).timestamp, 6u);
+  EXPECT_TRUE(a.allocated(IpAddress(10, 0, 0, 1)));
+  EXPECT_EQ(a.merge_newer(b), 0u);  // idempotent
+}
+
+TEST(AllocationTable, AllocatedCount) {
+  AllocationTable t;
+  t.commit_allocate(kPoolBase, 1, 0);
+  t.commit_allocate(IpAddress(10, 0, 0, 1), 2, 0);
+  t.commit_free(IpAddress(10, 0, 0, 1), 1);
+  EXPECT_EQ(t.allocated_count(), 1u);
+  EXPECT_EQ(t.known_addresses().size(), 2u);
+}
+
+TEST(DeriveFreePool, UniverseMinusAllocated) {
+  const auto universe = AddressBlock::contiguous(kPoolBase, 8);
+  AllocationTable t;
+  t.commit_allocate(IpAddress(10, 0, 0, 2), 1, 0);
+  t.commit_allocate(IpAddress(10, 0, 0, 5), 2, 0);
+  // derive_free_pool lives in core/qip_types.hpp but only depends on addr.
+  AddressBlock free = universe;
+  for (IpAddress a : t.known_addresses()) {
+    if (t.allocated(a)) free.erase(a);
+  }
+  EXPECT_EQ(free.size(), 6u);
+  EXPECT_FALSE(free.contains(IpAddress(10, 0, 0, 2)));
+}
+
+}  // namespace
+}  // namespace qip

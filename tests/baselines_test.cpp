@@ -1,0 +1,295 @@
+// Behavioural tests for the three baseline protocols and stateless DAD.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/buddy.hpp"
+#include "baselines/ctree.hpp"
+#include "baselines/dad.hpp"
+#include "baselines/manetconf.hpp"
+#include "harness/driver.hpp"
+#include "harness/world.hpp"
+
+namespace qip {
+namespace {
+
+template <typename Proto>
+std::set<IpAddress> unique_addresses(const Proto& proto,
+                                     const std::vector<NodeId>& members) {
+  std::set<IpAddress> out;
+  for (NodeId id : members) {
+    const auto addr = proto.address_of(id);
+    if (addr) {
+      EXPECT_TRUE(out.insert(*addr).second) << "duplicate " << *addr;
+    }
+  }
+  return out;
+}
+
+struct BaselineFixture : ::testing::Test {
+  WorldParams wp{};
+  World world{wp, /*seed=*/303};
+  DriverOptions dopt{};
+
+  void SetUp() override {
+    dopt.mobility = false;
+    dopt.arrival_interval = 1.2;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MANETconf
+// ---------------------------------------------------------------------------
+
+TEST_F(BaselineFixture, ManetConfConfiguresUniquely) {
+  ManetConf proto(world.transport(), world.rng());
+  Driver d(world, proto, dopt);
+  d.join(30);
+  world.run_for(3.0);
+  EXPECT_GE(d.configured_fraction(), 0.95);
+  unique_addresses(proto, d.members());
+}
+
+TEST_F(BaselineFixture, ManetConfUsesLowestFreeAddress) {
+  ManetConf proto(world.transport(), world.rng());
+  Driver d(world, proto, dopt);
+  const NodeId a = d.join_at({500, 500});
+  world.run_for(4.0);
+  const NodeId b = d.join_at({600, 500});
+  world.run_for(3.0);
+  EXPECT_EQ(proto.address_of(a), kPoolBase);
+  EXPECT_EQ(proto.address_of(b), kPoolBase.next());
+}
+
+TEST_F(BaselineFixture, ManetConfTablesFullyReplicated) {
+  ManetConf proto(world.transport(), world.rng());
+  Driver d(world, proto, dopt);
+  d.join_at({500, 500});
+  world.run_for(4.0);
+  d.join_at({600, 500});
+  d.join_at({550, 580});
+  world.run_for(3.0);
+  // Every configured node knows every allocation.
+  for (NodeId id : d.members()) {
+    EXPECT_EQ(proto.table_size(id), 3u) << "node " << id;
+  }
+}
+
+TEST_F(BaselineFixture, ManetConfFloodsArePricey) {
+  ManetConf proto(world.transport(), world.rng());
+  Driver d(world, proto, dopt);
+  d.join(25);
+  world.run_for(3.0);
+  // Each configuration floods the network twice (query + commit) plus all
+  // unicast replies: overhead must be super-linear in n.
+  const auto hops = world.stats().of(Traffic::kConfiguration).hops;
+  EXPECT_GT(hops, 25u * 20u);
+}
+
+TEST_F(BaselineFixture, ManetConfGracefulReleaseShrinksTables) {
+  ManetConf proto(world.transport(), world.rng());
+  Driver d(world, proto, dopt);
+  const NodeId a = d.join_at({500, 500});
+  world.run_for(4.0);
+  const NodeId b = d.join_at({600, 500});
+  world.run_for(3.0);
+  const IpAddress freed = *proto.address_of(b);
+  d.depart_graceful(b);
+  world.run_for(2.0);
+  EXPECT_EQ(proto.table_size(a), 1u);
+  // The freed address is reassigned to the next joiner.
+  const NodeId c = d.join_at({580, 520});
+  world.run_for(3.0);
+  EXPECT_EQ(proto.address_of(c), freed);
+}
+
+// ---------------------------------------------------------------------------
+// Buddy (Mohsin–Prakash)
+// ---------------------------------------------------------------------------
+
+TEST_F(BaselineFixture, BuddyConfiguresCheaplyAndUniquely) {
+  BuddyProtocol proto(world.transport(), world.rng());
+  Driver d(world, proto, dopt);
+  d.join(30);
+  world.run_for(2.0);
+  EXPECT_GE(d.configured_fraction(), 0.95);
+  unique_addresses(proto, d.members());
+  // Blocks are pairwise disjoint.
+  for (NodeId i : d.members()) {
+    for (NodeId j : d.members()) {
+      if (i >= j || !proto.configured(i) || !proto.configured(j)) continue;
+      EXPECT_TRUE(proto.block_of(i).disjoint_with(proto.block_of(j)));
+    }
+  }
+}
+
+TEST_F(BaselineFixture, BuddySplitHalvesBlocks) {
+  BuddyProtocol proto(world.transport(), world.rng());
+  Driver d(world, proto, dopt);
+  const NodeId a = d.join_at({500, 500});
+  world.run_for(3.0);
+  const std::uint64_t before = proto.block_of(a).size();
+  d.join_at({600, 500});
+  world.run_for(2.0);
+  EXPECT_NEAR(static_cast<double>(proto.block_of(a).size()),
+              static_cast<double>(before) / 2.0, 1.0);
+}
+
+TEST_F(BaselineFixture, BuddySyncCostsGlobalFloods) {
+  BuddyParams bp;
+  bp.sync_interval = 1.0;
+  BuddyProtocol proto(world.transport(), world.rng(), bp);
+  proto.start_sync();
+  Driver d(world, proto, dopt);
+  d.join(15);
+  const auto before = world.stats().of(Traffic::kMaintenance).hops;
+  world.run_for(5.0);
+  const auto after = world.stats().of(Traffic::kMaintenance).hops;
+  // ~5 sync rounds x 15 nodes flooding a 15-node component.
+  EXPECT_GT(after - before, 200u);
+}
+
+TEST_F(BaselineFixture, BuddyGracefulReturnMergesBlocks) {
+  BuddyProtocol proto(world.transport(), world.rng());
+  Driver d(world, proto, dopt);
+  const NodeId a = d.join_at({500, 500});
+  world.run_for(3.0);
+  const NodeId b = d.join_at({600, 500});
+  world.run_for(2.0);
+  const std::uint64_t total_before =
+      proto.block_of(a).size() + proto.block_of(b).size() + 1;  // + b's ip
+  d.depart_graceful(b);
+  world.run_for(2.0);
+  EXPECT_EQ(proto.block_of(a).size(), total_before);
+}
+
+TEST_F(BaselineFixture, BuddySyncReclaimsVanishedBuddy) {
+  BuddyParams bp;
+  bp.sync_interval = 1.0;
+  BuddyProtocol proto(world.transport(), world.rng(), bp);
+  proto.start_sync();
+  Driver d(world, proto, dopt);
+  const NodeId a = d.join_at({500, 500});
+  world.run_for(3.0);
+  const NodeId b = d.join_at({600, 500});
+  world.run_for(2.0);
+  d.depart_abrupt(b);
+  const auto recl_before = world.stats().of(Traffic::kReclamation).hops;
+  world.run_for(3.0);
+  EXPECT_GT(world.stats().of(Traffic::kReclamation).hops, recl_before)
+      << "the buddy announces the loss";
+  (void)a;
+}
+
+// ---------------------------------------------------------------------------
+// C-tree (Sheu et al.)
+// ---------------------------------------------------------------------------
+
+TEST_F(BaselineFixture, CTreeConfiguresUniquely) {
+  CTreeProtocol proto(world.transport(), world.rng());
+  Driver d(world, proto, dopt);
+  d.join(30);
+  world.run_for(2.0);
+  EXPECT_GE(d.configured_fraction(), 0.9);
+  unique_addresses(proto, d.members());
+}
+
+TEST_F(BaselineFixture, CTreeFirstNodeIsRoot) {
+  CTreeProtocol proto(world.transport(), world.rng());
+  Driver d(world, proto, dopt);
+  const NodeId a = d.join_at({500, 500});
+  world.run_for(4.0);
+  EXPECT_EQ(proto.root(), a);
+  EXPECT_TRUE(proto.is_coordinator(a));
+}
+
+TEST_F(BaselineFixture, CTreePeriodicUpdatesReachRoot) {
+  CTreeProtocol proto(world.transport(), world.rng());
+  Driver d(world, proto, dopt);
+  d.join_at({100, 500});
+  world.run_for(4.0);
+  d.join_at({240, 500});
+  d.join_at({380, 500});
+  d.join_at({520, 500});  // becomes a second coordinator
+  world.run_for(2.0);
+  const auto before = world.stats().of(Traffic::kMaintenance).hops;
+  proto.update_tick();
+  world.run_for(1.0);
+  EXPECT_GT(world.stats().of(Traffic::kMaintenance).hops, before);
+}
+
+TEST_F(BaselineFixture, CTreeRootLossLosesInformation) {
+  CTreeProtocol proto(world.transport(), world.rng());
+  Driver d(world, proto, dopt);
+  const NodeId root = d.join_at({500, 500});
+  world.run_for(4.0);
+  d.join_at({600, 500});
+  world.run_for(2.0);
+  proto.update_tick();
+  world.run_for(1.0);
+  std::set<NodeId> dead{root};
+  EXPECT_GT(proto.info_loss_if_dead(dead), 0u)
+      << "allocations tracked only by the root die with it";
+}
+
+TEST_F(BaselineFixture, CTreeNonRootCoordinatorSurvivesViaRootSnapshot) {
+  CTreeProtocol proto(world.transport(), world.rng());
+  Driver d(world, proto, dopt);
+  d.join_at({100, 500});
+  world.run_for(4.0);
+  d.join_at({240, 500});
+  d.join_at({380, 500});
+  const NodeId coord = d.join_at({520, 500});
+  world.run_for(2.0);
+  ASSERT_TRUE(proto.is_coordinator(coord));
+  proto.update_tick();
+  world.run_for(1.0);
+  std::set<NodeId> dead{coord};
+  EXPECT_EQ(proto.info_loss_if_dead(dead), 0u)
+      << "the root snapshot preserves the coordinator's allocations";
+}
+
+// ---------------------------------------------------------------------------
+// DAD (Perkins)
+// ---------------------------------------------------------------------------
+
+TEST_F(BaselineFixture, DadConfiguresUniquely) {
+  dopt.arrival_interval = 2.0;  // three AREQ floods take 1.5 s
+  DadProtocol proto(world.transport(), world.rng());
+  Driver d(world, proto, dopt);
+  d.join(20);
+  world.run_for(5.0);
+  EXPECT_GE(d.configured_fraction(), 0.95);
+  unique_addresses(proto, d.members());
+}
+
+TEST_F(BaselineFixture, DadDefendsAddressOnConflict) {
+  DadParams dp;
+  dp.pool_size = 1;  // every pick collides
+  DadProtocol proto(world.transport(), world.rng(), dp);
+  dopt.arrival_interval = 2.0;
+  Driver d(world, proto, dopt);
+  const NodeId a = d.join_at({500, 500});
+  world.run_for(3.0);
+  ASSERT_TRUE(proto.configured(a));
+  const NodeId b = d.join_at({600, 500});
+  world.run_for(20.0);
+  // b keeps colliding with a's single address and must end unconfigured.
+  EXPECT_FALSE(proto.configured(b));
+  const ConfigRecord* rec = proto.config_record(b);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_FALSE(rec->success);
+}
+
+TEST_F(BaselineFixture, DadFloodsDominateOverhead) {
+  DadProtocol proto(world.transport(), world.rng());
+  dopt.arrival_interval = 2.0;
+  Driver d(world, proto, dopt);
+  d.join(15);
+  world.run_for(3.0);
+  // Three floods per configuration.
+  EXPECT_GT(world.stats().of(Traffic::kConfiguration).hops, 15u * 3u);
+}
+
+}  // namespace
+}  // namespace qip

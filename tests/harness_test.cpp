@@ -1,0 +1,126 @@
+// Tests for the experiment harness itself: World, Driver, PhaseMeter, and
+// the figure helpers — the machinery every reported number flows through.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/qip_engine.hpp"
+#include "harness/driver.hpp"
+#include "harness/figures.hpp"
+#include "harness/world.hpp"
+
+namespace qip {
+namespace {
+
+TEST(World, PlacesNodesInsideArea) {
+  World world(WorldParams{}, 5);
+  for (NodeId id = 0; id < 50; ++id) {
+    const Point p = world.place_random(id);
+    EXPECT_TRUE(world.topology().area().contains(p));
+  }
+  EXPECT_EQ(world.topology().node_count(), 50u);
+}
+
+TEST(World, RunForAdvancesClock) {
+  World world(WorldParams{}, 5);
+  world.run_for(3.5);
+  EXPECT_DOUBLE_EQ(world.sim().now(), 3.5);
+}
+
+TEST(World, SettleBudgetGuardsLivelock) {
+  World world(WorldParams{}, 5);
+  // A self-rescheduling event never drains: the budget must trip.
+  std::function<void()> forever = [&] { world.sim().after(0.1, forever); };
+  world.sim().after(0.1, forever);
+  EXPECT_THROW(world.settle(/*max_events=*/100), InvariantViolation);
+}
+
+TEST(Driver, ConnectedArrivalsFormOneComponent) {
+  World world(WorldParams{}, 17);
+  QipEngine proto(world.transport(), world.rng(), QipParams{});
+  proto.start_hello();
+  DriverOptions dopt;
+  dopt.mobility = false;  // static: connectivity is preserved
+  Driver driver(world, proto, dopt);
+  driver.join(40);
+  EXPECT_EQ(world.topology().components().size(), 1u);
+}
+
+TEST(Driver, MembersTrackJoinsAndDepartures) {
+  World world(WorldParams{}, 18);
+  QipEngine proto(world.transport(), world.rng(), QipParams{});
+  proto.start_hello();
+  Driver driver(world, proto);
+  const auto ids = driver.join(5);
+  EXPECT_EQ(driver.members().size(), 5u);
+  driver.depart_graceful(ids[1]);
+  driver.depart_abrupt(ids[3]);
+  EXPECT_EQ(driver.members().size(), 3u);
+  EXPECT_FALSE(world.topology().has_node(ids[1]));
+  EXPECT_FALSE(world.topology().has_node(ids[3]));
+  EXPECT_EQ(driver.joined_count(), 5u);
+}
+
+TEST(Driver, ConfiguredFractionAndLatency) {
+  World world(WorldParams{}, 19);
+  QipEngine proto(world.transport(), world.rng(), QipParams{});
+  proto.start_hello();
+  Driver driver(world, proto);
+  driver.join(20);
+  world.run_for(3.0);
+  EXPECT_GT(driver.configured_fraction(), 0.9);
+  EXPECT_GT(driver.mean_config_latency(), 0.0);
+}
+
+TEST(PhaseMeter, DiffsSinceReset) {
+  MessageStats stats;
+  PhaseMeter meter(stats);
+  stats.record(Traffic::kConfiguration, 10);
+  stats.record(Traffic::kHello, 5, 5);
+  EXPECT_EQ(meter.hops(Traffic::kConfiguration), 10u);
+  EXPECT_EQ(meter.protocol_hops(), 10u);  // hello excluded
+  meter.reset();
+  EXPECT_EQ(meter.hops(Traffic::kConfiguration), 0u);
+  stats.record(Traffic::kDeparture, 3, 2);
+  EXPECT_EQ(meter.hops(Traffic::kDeparture), 3u);
+  EXPECT_EQ(meter.messages(Traffic::kDeparture), 2u);
+}
+
+TEST(Figures, RoundsFromEnv) {
+  unsetenv("QIP_ROUNDS");
+  EXPECT_EQ(rounds_from_env(7), 7u);
+  setenv("QIP_ROUNDS", "12", 1);
+  EXPECT_EQ(rounds_from_env(7), 12u);
+  setenv("QIP_ROUNDS", "garbage", 1);
+  EXPECT_EQ(rounds_from_env(7), 7u);
+  unsetenv("QIP_ROUNDS");
+}
+
+TEST(Figures, Fig4LayoutProducesClusters) {
+  const LayoutStats layout = fig4_layout(/*seed=*/3, 60, 150.0);
+  EXPECT_EQ(layout.nodes, 60u);
+  EXPECT_GE(layout.heads, 1u);
+  EXPECT_LT(layout.heads, 30u);
+  EXPECT_FALSE(layout.ascii_map.empty());
+  // The map contains exactly one '#' or 'o' style marker per populated cell
+  // and 20 lines.
+  EXPECT_EQ(std::count(layout.ascii_map.begin(), layout.ascii_map.end(),
+                       '\n'),
+            20);
+  EXPECT_NE(layout.ascii_map.find('#'), std::string::npos);
+  EXPECT_NE(layout.ascii_map.find('o'), std::string::npos);
+}
+
+TEST(Figures, FigureDataRenders) {
+  FigureData fig;
+  fig.title = "t";
+  fig.x_name = "x";
+  fig.x = {1, 2};
+  fig.series = {Series{"s", {3.0, 4.0}}};
+  const std::string out = fig.render();
+  EXPECT_NE(out.find("t"), std::string::npos);
+  EXPECT_NE(out.find("4.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qip

@@ -1,0 +1,248 @@
+// Cross-module integration tests: full churn scenarios driving the QIP
+// engine through the harness, with invariants checked at checkpoints, plus
+// cross-protocol comparisons the paper's headline claims rest on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/buddy.hpp"
+#include "baselines/ctree.hpp"
+#include "baselines/manetconf.hpp"
+#include "core/qip_engine.hpp"
+#include "harness/driver.hpp"
+#include "harness/world.hpp"
+
+namespace qip {
+namespace {
+
+/// Checks the QIP global invariants *per logical network*: mobility and
+/// abrupt failures can legitimately split the world into several networks
+/// (each with its own pool, §V-C), but within one network addresses must be
+/// unique, head universes disjoint, and free pools within universes.
+void check_invariants(const QipEngine& proto, const std::vector<NodeId>& ids) {
+  std::map<NetworkId, std::set<IpAddress>> addrs;
+  for (NodeId id : ids) {
+    if (!proto.knows(id)) continue;
+    const auto& st = proto.state_of(id);
+    if (!st.ip) continue;
+    EXPECT_TRUE(addrs[st.network_id].insert(*st.ip).second)
+        << "duplicate address " << *st.ip << " at node " << id
+        << " within network " << st.network_id;
+  }
+  std::map<NetworkId, std::vector<NodeId>> heads;
+  for (NodeId id : ids) {
+    if (proto.knows(id) &&
+        proto.state_of(id).role == Role::kClusterHead) {
+      heads[proto.state_of(id).network_id].push_back(id);
+    }
+  }
+  for (const auto& [net, hs] : heads) {
+    for (std::size_t i = 0; i < hs.size(); ++i) {
+      const auto& a = proto.state_of(hs[i]);
+      EXPECT_TRUE(a.owned_universe.contains_all(a.ip_space));
+      for (std::size_t j = i + 1; j < hs.size(); ++j) {
+        const auto& b = proto.state_of(hs[j]);
+        EXPECT_TRUE(a.owned_universe.disjoint_with(b.owned_universe))
+            << "universes of heads " << hs[i] << " and " << hs[j]
+            << " overlap within network " << net;
+      }
+    }
+  }
+}
+
+TEST(Integration, ChurnScenarioKeepsInvariants) {
+  WorldParams wp;
+  wp.transmission_range = 150.0;
+  World world(wp, 4242);
+  QipParams qp;
+  qp.pool_size = 1024;
+  QipEngine proto(world.transport(), world.rng(), qp);
+  proto.start_hello();
+  Driver driver(world, proto);
+
+  driver.join(60);
+  world.run_for(3.0);
+  check_invariants(proto, driver.members());
+
+  // Churn: alternate graceful/abrupt departures with fresh arrivals.
+  for (int wave = 0; wave < 4; ++wave) {
+    for (int i = 0; i < 5 && !driver.members().empty(); ++i) {
+      const NodeId victim =
+          driver.members()[world.rng().index(driver.members().size())];
+      if (world.rng().chance(0.3)) {
+        driver.depart_abrupt(victim);
+      } else {
+        driver.depart_graceful(victim);
+      }
+    }
+    driver.join(5);
+    world.run_for(5.0);
+  }
+  world.run_for(10.0);
+  check_invariants(proto, driver.members());
+  // 20 churn departures (30% abrupt) against 80 joins: most of the network
+  // must remain served.
+  EXPECT_GE(driver.configured_fraction(), 0.8);
+}
+
+TEST(Integration, MobilityScenarioStaysConsistent) {
+  WorldParams wp;
+  wp.speed = 20.0;
+  World world(wp, 999);
+  QipParams qp;
+  qp.pool_size = 1024;
+  QipEngine proto(world.transport(), world.rng(), qp);
+  proto.start_hello();
+  Driver driver(world, proto);
+  driver.join(50);
+  for (int i = 0; i < 6; ++i) {
+    world.run_for(5.0);
+    check_invariants(proto, driver.members());
+  }
+}
+
+TEST(Integration, LatencyOrderingMatchesPaper) {
+  // §VI-B: QIP configures in roughly half MANETconf's hops.
+  double qip_lat = 0.0, mc_lat = 0.0;
+  {
+    WorldParams wp;
+    World world(wp, 31337);
+    QipParams qp;
+    QipEngine proto(world.transport(), world.rng(), qp);
+    proto.start_hello();
+    Driver d(world, proto);
+    d.join(100);
+    world.run_for(2.0);
+    qip_lat = d.mean_config_latency();
+  }
+  {
+    WorldParams wp;
+    World world(wp, 31337);
+    ManetConf proto(world.transport(), world.rng());
+    Driver d(world, proto);
+    d.join(100);
+    world.run_for(2.0);
+    mc_lat = d.mean_config_latency();
+  }
+  EXPECT_LT(qip_lat, 12.0);
+  EXPECT_GT(mc_lat, 12.0);
+  EXPECT_LT(qip_lat, 0.7 * mc_lat);
+}
+
+TEST(Integration, OverheadOrderingMatchesPaper) {
+  // §VI-C: QIP's join-phase overhead beats the buddy protocol's (which pays
+  // for periodic global table sync).
+  std::uint64_t qip_hops = 0, buddy_hops = 0;
+  {
+    WorldParams wp;
+    World world(wp, 555);
+    QipParams qp;
+    QipEngine proto(world.transport(), world.rng(), qp);
+    proto.start_hello();
+    Driver d(world, proto);
+    d.join(80);
+    world.run_for(2.0);
+    qip_hops = world.stats().protocol_hops();
+  }
+  {
+    WorldParams wp;
+    World world(wp, 555);
+    BuddyProtocol proto(world.transport(), world.rng());
+    proto.start_sync();
+    Driver d(world, proto);
+    d.join(80);
+    world.run_for(2.0);
+    buddy_hops = world.stats().protocol_hops();
+  }
+  EXPECT_LT(qip_hops, buddy_hops);
+}
+
+TEST(Integration, QuorumSpaceExtendsVisibleSpace) {
+  // §VI-D.1: replication extends a head's usable space several-fold.
+  WorldParams wp;
+  World world(wp, 808);
+  QipParams qp;
+  qp.pool_size = 1024;
+  QipEngine proto(world.transport(), world.rng(), qp);
+  proto.start_hello();
+  DriverOptions dopt;
+  dopt.mobility = false;
+  Driver d(world, proto, dopt);
+  d.join(100);
+  world.run_for(5.0);
+  const double own = proto.average_own_space();
+  const double visible = proto.average_visible_space();
+  ASSERT_GT(own, 0.0);
+  EXPECT_GT(visible / own, 2.0);
+  EXPECT_LT(visible / own, 9.0);
+}
+
+TEST(Integration, HelloTrafficExcludedFromProtocolHops) {
+  WorldParams wp;
+  World world(wp, 21);
+  QipParams qp;
+  QipEngine proto(world.transport(), world.rng(), qp);
+  proto.start_hello();
+  Driver d(world, proto);
+  d.join(20);
+  world.run_for(10.0);
+  const auto& stats = world.stats();
+  EXPECT_GT(stats.of(Traffic::kHello).hops, 0u);
+  EXPECT_EQ(stats.protocol_hops() + stats.of(Traffic::kHello).hops,
+            stats.total_hops());
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    WorldParams wp;
+    World world(wp, 777);
+    QipParams qp;
+    QipEngine proto(world.transport(), world.rng(), qp);
+    proto.start_hello();
+    Driver d(world, proto);
+    d.join(40);
+    world.run_for(10.0);
+    return std::tuple(world.stats().total_hops(), d.mean_config_latency(),
+                      proto.clusters().head_count());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Integration, CTreeAndQipBothServeSteadyChurn) {
+  // Sanity guard for Figs 10/13/14: both protocols survive the same churn
+  // scenario and keep configuring.
+  for (int which = 0; which < 2; ++which) {
+    WorldParams wp;
+    World world(wp, 3131);
+    std::unique_ptr<AutoconfProtocol> proto;
+    if (which == 0) {
+      auto p = std::make_unique<QipEngine>(world.transport(), world.rng(),
+                                           QipParams{});
+      p->start_hello();
+      proto = std::move(p);
+    } else {
+      auto p = std::make_unique<CTreeProtocol>(world.transport(),
+                                               world.rng(), CTreeParams{});
+      p->start_updates();
+      proto = std::move(p);
+    }
+    Driver d(world, *proto);
+    d.join(50);
+    world.run_for(5.0);
+    for (int i = 0; i < 8; ++i) {
+      const NodeId victim =
+          d.members()[world.rng().index(d.members().size())];
+      if (i % 3 == 0) {
+        d.depart_abrupt(victim);
+      } else {
+        d.depart_graceful(victim);
+      }
+    }
+    d.join(8);
+    world.run_for(10.0);
+    EXPECT_GE(d.configured_fraction(), 0.8) << proto->name();
+  }
+}
+
+}  // namespace
+}  // namespace qip

@@ -1,0 +1,123 @@
+// Unit tests for the random-waypoint mobility manager.
+#include <gtest/gtest.h>
+
+#include "mobility/waypoint.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace qip {
+namespace {
+
+struct MobilityFixture : ::testing::Test {
+  Simulator sim;
+  Topology topo{Rect{1000.0, 1000.0}, 150.0};
+  Rng rng{42};
+  MobilityManager mob{sim, topo, rng, /*tick=*/1.0};
+};
+
+TEST_F(MobilityFixture, StepMovesAtMostSpeedTimesTick) {
+  topo.add_node(1, {500.0, 500.0});
+  mob.add(1, 20.0);
+  for (int i = 0; i < 50; ++i) {
+    const Point before = topo.position(1);
+    mob.step();
+    const Point after = topo.position(1);
+    EXPECT_LE(distance(before, after), 20.0 + 1e-9);
+    EXPECT_TRUE(topo.area().contains(after));
+  }
+}
+
+TEST_F(MobilityFixture, ZeroSpeedStaysPut) {
+  topo.add_node(1, {100.0, 100.0});
+  mob.add(1, 0.0);
+  mob.step();
+  EXPECT_EQ(topo.position(1), (Point{100.0, 100.0}));
+}
+
+TEST_F(MobilityFixture, PeriodicTicksViaSimulator) {
+  topo.add_node(1, {500.0, 500.0});
+  mob.add(1, 10.0);
+  int ticks = 0;
+  mob.set_on_tick([&] { ++ticks; });
+  mob.start();
+  sim.run(10.0);
+  EXPECT_EQ(ticks, 10);
+  mob.stop();
+  sim.run(20.0);
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST_F(MobilityFixture, StartIsIdempotent) {
+  topo.add_node(1, {500.0, 500.0});
+  mob.add(1, 10.0);
+  int ticks = 0;
+  mob.set_on_tick([&] { ++ticks; });
+  mob.start();
+  mob.start();
+  sim.run(3.0);
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST_F(MobilityFixture, RemoveStopsManaging) {
+  topo.add_node(1, {500.0, 500.0});
+  mob.add(1, 20.0);
+  EXPECT_TRUE(mob.manages(1));
+  mob.remove(1);
+  EXPECT_FALSE(mob.manages(1));
+  const Point before = topo.position(1);
+  mob.step();
+  EXPECT_EQ(topo.position(1), before);
+}
+
+TEST_F(MobilityFixture, EventuallyReachesNewWaypoints) {
+  // Over a long run the node should traverse a substantial part of the
+  // field, i.e. pick multiple waypoints.
+  topo.add_node(1, {500.0, 500.0});
+  mob.add(1, 50.0);
+  double travelled = 0.0;
+  Point prev = topo.position(1);
+  for (int i = 0; i < 200; ++i) {
+    mob.step();
+    travelled += distance(prev, topo.position(1));
+    prev = topo.position(1);
+  }
+  EXPECT_GT(travelled, 2000.0);  // several waypoint legs
+}
+
+TEST_F(MobilityFixture, DeterministicUnderSeed) {
+  topo.add_node(1, {500.0, 500.0});
+  mob.add(1, 20.0);
+  std::vector<Point> track1;
+  for (int i = 0; i < 20; ++i) {
+    mob.step();
+    track1.push_back(topo.position(1));
+  }
+
+  // Re-run with identical seed and initial state.
+  Simulator sim2;
+  Topology topo2{Rect{1000.0, 1000.0}, 150.0};
+  Rng rng2{42};
+  MobilityManager mob2{sim2, topo2, rng2, 1.0};
+  topo2.add_node(1, {500.0, 500.0});
+  mob2.add(1, 20.0);
+  for (int i = 0; i < 20; ++i) {
+    mob2.step();
+    EXPECT_EQ(topo2.position(1), track1[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST_F(MobilityFixture, ManagesManyNodesInIdOrder) {
+  for (NodeId id = 0; id < 10; ++id) {
+    topo.add_node(id, {500.0, 500.0});
+    mob.add(id, 15.0);
+  }
+  EXPECT_EQ(mob.managed_count(), 10u);
+  mob.step();
+  for (NodeId id = 0; id < 10; ++id) {
+    EXPECT_TRUE(topo.area().contains(topo.position(id)));
+  }
+}
+
+}  // namespace
+}  // namespace qip

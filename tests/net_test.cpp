@@ -1,0 +1,214 @@
+// Unit tests for topology, transport metering and traffic stats.
+#include <gtest/gtest.h>
+
+#include "net/metrics.hpp"
+#include "net/topology.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+
+namespace qip {
+namespace {
+
+/// A 5-node chain: 0 - 1 - 2 - 3 - 4, 100 m apart, range 120 m.
+Topology chain_topology() {
+  Topology topo(Rect{1000.0, 1000.0}, 120.0);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    topo.add_node(i, {100.0 * i, 0.0});
+  }
+  return topo;
+}
+
+TEST(Topology, NeighborsOnChain) {
+  auto topo = chain_topology();
+  EXPECT_EQ(topo.neighbors(0), (std::vector<NodeId>{1}));
+  EXPECT_EQ(topo.neighbors(2), (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(topo.neighbors(4), (std::vector<NodeId>{3}));
+}
+
+TEST(Topology, HopDistances) {
+  auto topo = chain_topology();
+  EXPECT_EQ(topo.hop_distance(0, 0), 0u);
+  EXPECT_EQ(topo.hop_distance(0, 1), 1u);
+  EXPECT_EQ(topo.hop_distance(0, 4), 4u);
+  EXPECT_EQ(topo.hop_distance(4, 0), 4u);
+}
+
+TEST(Topology, UnreachableAcrossGap) {
+  auto topo = chain_topology();
+  topo.add_node(99, {900.0, 900.0});
+  EXPECT_FALSE(topo.hop_distance(0, 99).has_value());
+  EXPECT_FALSE(topo.reachable(99, 4));
+}
+
+TEST(Topology, KHopNeighbors) {
+  auto topo = chain_topology();
+  const auto two = topo.k_hop_neighbors(0, 2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0], (std::pair<NodeId, std::uint32_t>{1, 1}));
+  EXPECT_EQ(two[1], (std::pair<NodeId, std::uint32_t>{2, 2}));
+}
+
+TEST(Topology, Components) {
+  auto topo = chain_topology();
+  topo.add_node(10, {800.0, 800.0});
+  topo.add_node(11, {850.0, 800.0});
+  const auto comps = topo.components();
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(comps[1], (std::vector<NodeId>{10, 11}));
+}
+
+TEST(Topology, Eccentricity) {
+  auto topo = chain_topology();
+  EXPECT_EQ(topo.eccentricity(0), 4u);
+  EXPECT_EQ(topo.eccentricity(2), 2u);
+}
+
+TEST(Topology, MoveChangesConnectivity) {
+  auto topo = chain_topology();
+  topo.move_node(4, {0.0, 100.0});  // now adjacent to 0
+  EXPECT_EQ(topo.hop_distance(0, 4), 1u);
+}
+
+TEST(Topology, Covered) {
+  auto topo = chain_topology();
+  EXPECT_TRUE(topo.covered({50.0, 0.0}));
+  EXPECT_FALSE(topo.covered({900.0, 900.0}));
+}
+
+TEST(Topology, OutOfAreaThrows) {
+  auto topo = chain_topology();
+  EXPECT_THROW(topo.add_node(50, {-1.0, 0.0}), InvariantViolation);
+  EXPECT_THROW(topo.move_node(0, {2000.0, 0.0}), InvariantViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+struct TransportFixture : ::testing::Test {
+  Simulator sim;
+  Topology topo = chain_topology();
+  MessageStats stats;
+  Transport transport{sim, topo, stats, 0.01};
+};
+
+TEST_F(TransportFixture, UnicastChargesPathHops) {
+  bool delivered = false;
+  const auto hops =
+      transport.unicast(0, 4, Traffic::kConfiguration,
+                        [&](NodeId to, std::uint32_t h) {
+                          delivered = true;
+                          EXPECT_EQ(to, 4u);
+                          EXPECT_EQ(h, 4u);
+                        });
+  ASSERT_TRUE(hops.has_value());
+  EXPECT_EQ(*hops, 4u);
+  EXPECT_FALSE(delivered);  // not before the latency elapses
+  sim.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.04);
+  EXPECT_EQ(stats.of(Traffic::kConfiguration).hops, 4u);
+  EXPECT_EQ(stats.of(Traffic::kConfiguration).messages, 1u);
+}
+
+TEST_F(TransportFixture, UnicastUnreachableChargesNothing) {
+  topo.add_node(99, {900.0, 900.0});
+  const auto hops = transport.unicast(0, 99, Traffic::kDeparture,
+                                      [](NodeId, std::uint32_t) {
+                                        FAIL() << "must not deliver";
+                                      });
+  EXPECT_FALSE(hops.has_value());
+  EXPECT_EQ(stats.total_hops(), 0u);
+}
+
+TEST_F(TransportFixture, DeliverySkippedIfReceiverDeparted) {
+  bool delivered = false;
+  transport.unicast(0, 2, Traffic::kConfiguration,
+                    [&](NodeId, std::uint32_t) { delivered = true; });
+  topo.remove_node(2);
+  sim.run();
+  EXPECT_FALSE(delivered);
+  // The hops were still charged — the radio transmitted.
+  EXPECT_EQ(stats.of(Traffic::kConfiguration).hops, 2u);
+}
+
+TEST_F(TransportFixture, LocalBroadcastReachesNeighborsOnly) {
+  std::vector<NodeId> heard;
+  const auto reached = transport.local_broadcast(
+      2, Traffic::kHello,
+      [&](NodeId n, std::uint32_t h) {
+        heard.push_back(n);
+        EXPECT_EQ(h, 1u);
+      });
+  EXPECT_EQ(reached, (std::vector<NodeId>{1, 3}));
+  sim.run();
+  EXPECT_EQ(heard.size(), 2u);
+  EXPECT_EQ(stats.of(Traffic::kHello).hops, 1u);  // one transmission
+}
+
+TEST_F(TransportFixture, ScopedFloodCostAndReach) {
+  std::vector<std::pair<NodeId, std::uint32_t>> got;
+  const auto reached = transport.flood(
+      0, 2, Traffic::kReclamation,
+      [&](NodeId n, std::uint32_t h) { got.emplace_back(n, h); });
+  EXPECT_EQ(reached, (std::vector<NodeId>{1, 2}));
+  sim.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], (std::pair<NodeId, std::uint32_t>{1, 1}));
+  EXPECT_EQ(got[1], (std::pair<NodeId, std::uint32_t>{2, 2}));
+  // Transmissions: sender + the radius-1 relay (node 1).
+  EXPECT_EQ(stats.of(Traffic::kReclamation).hops, 2u);
+}
+
+TEST_F(TransportFixture, ComponentFloodCoversComponent) {
+  std::vector<NodeId> got;
+  const auto reached = transport.flood_component(
+      2, Traffic::kPartition,
+      [&](NodeId n, std::uint32_t) { got.push_back(n); });
+  EXPECT_EQ(reached.size(), 4u);
+  sim.run();
+  EXPECT_EQ(got.size(), 4u);
+  // Everyone except the two chain endpoints relays; cost is bounded by the
+  // component size.
+  EXPECT_GE(stats.of(Traffic::kPartition).hops, 3u);
+  EXPECT_LE(stats.of(Traffic::kPartition).hops, 5u);
+}
+
+TEST_F(TransportFixture, IsolatedFloodChargesOneTransmission) {
+  topo.add_node(99, {900.0, 900.0});
+  const auto reached =
+      transport.flood_component(99, Traffic::kPartition,
+                                [](NodeId, std::uint32_t) {});
+  EXPECT_TRUE(reached.empty());
+  EXPECT_EQ(stats.of(Traffic::kPartition).hops, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// MessageStats
+// ---------------------------------------------------------------------------
+
+TEST(MessageStats, CategoriesIndependent) {
+  MessageStats s;
+  s.record(Traffic::kConfiguration, 5);
+  s.record(Traffic::kHello, 7, 7);
+  s.record(Traffic::kDeparture, 2, 2);
+  EXPECT_EQ(s.of(Traffic::kConfiguration).hops, 5u);
+  EXPECT_EQ(s.of(Traffic::kHello).messages, 7u);
+  EXPECT_EQ(s.total_hops(), 14u);
+  EXPECT_EQ(s.protocol_hops(), 7u);  // hello excluded
+  s.reset();
+  EXPECT_EQ(s.total_hops(), 0u);
+}
+
+TEST(MessageStats, ToStringListsNonZero) {
+  MessageStats s;
+  s.record(Traffic::kMovement, 3);
+  const std::string out = s.to_string();
+  EXPECT_NE(out.find("movement"), std::string::npos);
+  EXPECT_EQ(out.find("departure"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qip

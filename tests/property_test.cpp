@@ -1,0 +1,156 @@
+// Randomized property sweeps across seeds (TEST_P): protocol-level
+// invariants that must hold for any arrival pattern, plus harness-level
+// conservation checks.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/qip_engine.hpp"
+#include "harness/driver.hpp"
+#include "harness/world.hpp"
+
+namespace qip {
+namespace {
+
+class QipSeedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QipSeedProperty, StaticJoinUniquenessAndConservation) {
+  WorldParams wp;
+  World world(wp, GetParam());
+  QipParams qp;
+  qp.pool_size = 512;
+  QipEngine proto(world.transport(), world.rng(), qp);
+  proto.start_hello();
+  DriverOptions dopt;
+  dopt.mobility = false;
+  Driver d(world, proto, dopt);
+  d.join(40);
+  world.run_for(5.0);
+
+  // 1. Uniqueness.
+  std::set<IpAddress> addrs;
+  for (const auto& [id, addr] : proto.configured_addresses()) {
+    ASSERT_TRUE(addrs.insert(addr).second) << "duplicate " << addr;
+  }
+
+  // 2. Conservation: in a static single network, every head's universe is a
+  // sub-block of the pool and the union of universes plus nothing else
+  // covers exactly the pool.
+  const AddressBlock pool = AddressBlock::contiguous(qp.pool_base,
+                                                     qp.pool_size);
+  AddressBlock covered;
+  std::uint64_t total = 0;
+  for (NodeId id : d.members()) {
+    if (!proto.knows(id)) continue;
+    const auto& st = proto.state_of(id);
+    if (st.role != Role::kClusterHead) continue;
+    ASSERT_TRUE(pool.contains_all(st.owned_universe));
+    ASSERT_TRUE(covered.disjoint_with(st.owned_universe));
+    covered.merge(st.owned_universe);
+    total += st.owned_universe.size();
+  }
+  EXPECT_EQ(total, qp.pool_size) << "head universes must partition the pool";
+
+  // 3. Every allocated address belongs to a configured node or is the
+  // head's own, and free pools never contain allocated addresses.
+  for (NodeId id : d.members()) {
+    if (!proto.knows(id)) continue;
+    const auto& st = proto.state_of(id);
+    if (st.role != Role::kClusterHead) continue;
+    for (IpAddress a : st.table.known_addresses()) {
+      if (st.table.allocated(a)) {
+        EXPECT_FALSE(st.ip_space.contains(a));
+      }
+    }
+  }
+}
+
+TEST_P(QipSeedProperty, ConfiguredFractionHigh) {
+  WorldParams wp;
+  World world(wp, GetParam() ^ 0xabcdef);
+  QipEngine proto(world.transport(), world.rng(), QipParams{});
+  proto.start_hello();
+  Driver d(world, proto);
+  d.join(60);
+  world.run_for(5.0);
+  EXPECT_GE(d.configured_fraction(), 0.9);
+}
+
+TEST_P(QipSeedProperty, LatencyBoundedByNetworkDiameter) {
+  WorldParams wp;
+  World world(wp, GetParam() ^ 0x1234);
+  QipEngine proto(world.transport(), world.rng(), QipParams{});
+  proto.start_hello();
+  Driver d(world, proto);
+  d.join(50);
+  world.run_for(3.0);
+  // Hop latency for any single configuration should never exceed a small
+  // multiple of the diameter (request + quorum RTT + configure).
+  for (NodeId id : d.members()) {
+    const ConfigRecord* rec = proto.config_record(id);
+    if (!rec || !rec->success) continue;
+    EXPECT_LE(rec->latency_hops, 60u) << "node " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QipSeedProperty,
+                         ::testing::Values(1001, 2002, 3003, 4004, 5005,
+                                           6006, 7007, 8008));
+
+/// Graceful-departure round trips: after any sequence of joins and graceful
+/// leaves the total free space across heads equals pool minus live nodes.
+class DepartureProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DepartureProperty, GracefulLeaveRestoresSpace) {
+  WorldParams wp;
+  World world(wp, GetParam());
+  QipParams qp;
+  qp.pool_size = 512;
+  QipEngine proto(world.transport(), world.rng(), qp);
+  proto.start_hello();
+  DriverOptions dopt;
+  dopt.mobility = false;
+  Driver d(world, proto, dopt);
+  d.join(30);
+  world.run_for(3.0);
+
+  // Gracefully retire 10 random non-head members.
+  int retired = 0;
+  auto members = d.members();
+  world.rng().shuffle(members);
+  for (NodeId id : members) {
+    if (retired >= 10) break;
+    if (!proto.knows(id)) continue;
+    if (proto.state_of(id).role != Role::kCommonNode) continue;
+    d.depart_graceful(id);
+    ++retired;
+  }
+  world.run_for(5.0);
+
+  // Count free + allocated across heads.
+  std::uint64_t free_total = 0, alloc_total = 0;
+  for (NodeId id : d.members()) {
+    if (!proto.knows(id)) continue;
+    const auto& st = proto.state_of(id);
+    if (st.role != Role::kClusterHead) continue;
+    free_total += st.ip_space.size();
+    alloc_total += st.table.allocated_count();
+  }
+  const std::uint64_t live = [&] {
+    std::uint64_t n = 0;
+    for (NodeId id : d.members()) {
+      if (proto.knows(id) && proto.configured(id)) ++n;
+    }
+    return n;
+  }();
+  // Every live node holds exactly one address; all returned addresses are
+  // free again (static network, no leaks possible).
+  EXPECT_EQ(alloc_total, live);
+  EXPECT_EQ(free_total + alloc_total, qp.pool_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DepartureProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace qip

@@ -1,0 +1,140 @@
+// Location-update behavior (§IV-C.1): periodic UPDATE_LOC vs the
+// upon-leave scheme, administrator hand-off, and address return routing
+// after movement.
+#include <gtest/gtest.h>
+
+#include "core/qip_engine.hpp"
+#include "harness/driver.hpp"
+#include "harness/world.hpp"
+
+namespace qip {
+namespace {
+
+struct MovementFixture : ::testing::Test {
+  WorldParams wp{};
+  World world{wp, /*seed=*/606};
+  QipParams qp{};
+  std::unique_ptr<QipEngine> proto;
+  std::unique_ptr<Driver> driver;
+
+  void init(bool periodic) {
+    qp.pool_size = 256;
+    qp.periodic_location_update = periodic;
+    proto = std::make_unique<QipEngine>(world.transport(), world.rng(), qp);
+    proto->start_hello();
+    DriverOptions dopt;
+    dopt.mobility = false;  // movement is injected by hand
+    dopt.arrival_interval = 1.0;
+    driver = std::make_unique<Driver>(world, *proto, dopt);
+  }
+
+  /// Two heads four hops apart with relays; a member of head A.
+  struct Net {
+    NodeId a, b, m;
+  };
+  Net build() {
+    Net n{};
+    n.a = driver->join_at({100, 500});
+    world.run_for(5.0);
+    driver->join_at({240, 500});
+    driver->join_at({380, 500});
+    n.b = driver->join_at({520, 500});
+    world.run_for(2.0);
+    driver->join_at({660, 500});  // extend the chain beyond B
+    driver->join_at({800, 500});
+    n.m = driver->join_at({140, 560});  // member of A
+    world.run_for(2.0);
+    EXPECT_EQ(proto->state_of(n.m).configurer, n.a);
+    return n;
+  }
+
+  /// Walks node `id` to `target` and runs the location-update scan.
+  void teleport(NodeId id, const Point& target) {
+    world.topology().move_node(id, target);
+    proto->on_mobility_tick();
+    world.run_for(1.0);
+  }
+};
+
+TEST_F(MovementFixture, PeriodicSchemeHandsOffAdministrator) {
+  init(/*periodic=*/true);
+  const Net n = build();
+  const auto before = world.stats().of(Traffic::kMovement).hops;
+  // Move m from A's side to beyond B: > 3 hops from its configurer.
+  teleport(n.m, {810, 560});
+  const auto& st = proto->state_of(n.m);
+  EXPECT_NE(st.administrator, kNoNode);
+  EXPECT_NE(st.administrator, n.a);
+  EXPECT_GT(world.stats().of(Traffic::kMovement).hops, before)
+      << "UPDATE_LOC must be charged to movement traffic";
+  // The administrator recorded the configurer for return routing.
+  const auto& admin = proto->state_of(st.administrator);
+  ASSERT_TRUE(admin.administered.count(n.m));
+  EXPECT_EQ(admin.administered.at(n.m), n.a);
+}
+
+TEST_F(MovementFixture, PeriodicSchemeQuietWithinThreshold) {
+  init(true);
+  const Net n = build();
+  const auto before = world.stats().of(Traffic::kMovement).hops;
+  // Small move: still within 3 hops of the configurer.
+  teleport(n.m, {250, 560});
+  EXPECT_EQ(world.stats().of(Traffic::kMovement).hops, before);
+  EXPECT_EQ(proto->state_of(n.m).administrator, kNoNode);
+}
+
+TEST_F(MovementFixture, UponLeaveSchemeSendsNoLocationUpdates) {
+  init(/*periodic=*/false);
+  const Net n = build();
+  teleport(n.m, {810, 560});
+  teleport(n.m, {140, 560});
+  teleport(n.m, {810, 560});
+  EXPECT_EQ(world.stats().of(Traffic::kMovement).hops, 0u);
+  EXPECT_EQ(proto->state_of(n.m).administrator, kNoNode);
+}
+
+TEST_F(MovementFixture, ReturnAfterMovementReachesAllocator) {
+  init(true);
+  const Net n = build();
+  const IpAddress addr = *proto->address_of(n.m);
+  teleport(n.m, {810, 560});  // far from A, administered near B
+  // Graceful departure from the far side: RETURN_ADDR goes to the nearest
+  // head and is forwarded home; A's pool regains the address.
+  driver->depart_graceful(n.m);
+  world.run_for(3.0);
+  const auto& sa = proto->state_of(n.a);
+  EXPECT_TRUE(sa.ip_space.contains(addr))
+      << "the address must find its way back to its allocator";
+  EXPECT_FALSE(sa.table.allocated(addr));
+}
+
+TEST_F(MovementFixture, UponLeaveReturnStillReachesAllocator) {
+  init(false);
+  const Net n = build();
+  const IpAddress addr = *proto->address_of(n.m);
+  teleport(n.m, {810, 560});
+  driver->depart_graceful(n.m);
+  world.run_for(3.0);
+  EXPECT_TRUE(proto->state_of(n.a).ip_space.contains(addr))
+      << "without location updates the return pays forwarding instead";
+}
+
+TEST_F(MovementFixture, LargestBlockPollingChargesConfiguration) {
+  qp.pick_largest_block = true;
+  init(true);
+  // Two heads both within two hops of the newcomer: the poll must run.
+  driver->join_at({500, 500});
+  world.run_for(5.0);
+  driver->join_at({500, 300});
+  driver->join_at({500, 400});  // relay; second head forms at distance
+  world.run_for(2.0);
+  const auto before = world.stats().of(Traffic::kConfiguration).hops;
+  const NodeId x = driver->join_at({500, 440});
+  world.run_for(2.0);
+  EXPECT_TRUE(proto->configured(x));
+  EXPECT_GT(world.stats().of(Traffic::kConfiguration).hops, before + 2)
+      << "candidate polling adds request/reply pairs beyond the join itself";
+}
+
+}  // namespace
+}  // namespace qip

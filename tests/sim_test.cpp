@@ -1,0 +1,200 @@
+// Unit tests for the discrete-event core: ordering, cancellation, clock.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace qip {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelDropsEvent) {
+  EventQueue q;
+  int fired = 0;
+  auto h = q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, EmptyIsExactUnderCancellation) {
+  EventQueue q;
+  auto a = q.schedule(1.0, [] {});
+  auto b = q.schedule(2.0, [] {});
+  a.cancel();
+  b.cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FiredHandleNotPending) {
+  EventQueue q;
+  auto h = q.schedule(1.0, [] {});
+  q.pop().fn();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // harmless
+}
+
+TEST(EventQueue, DefaultHandleInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  auto a = q.schedule(1.0, [] {});
+  q.schedule(5.0, [] {});
+  a.cancel();
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(Simulator, ClockAdvancesMonotonically) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.after(2.0, [&] { seen.push_back(sim.now()); });
+  sim.after(1.0, [&] {
+    seen.push_back(sim.now());
+    sim.after(0.5, [&] { seen.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_DOUBLE_EQ(seen[0], 1.0);
+  EXPECT_DOUBLE_EQ(seen[1], 1.5);
+  EXPECT_DOUBLE_EQ(seen[2], 2.0);
+}
+
+TEST(Simulator, RunHorizonIncludesBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(1.0, [&] { ++fired; });
+  sim.after(2.0, [&] { ++fired; });
+  sim.after(3.0, [&] { ++fired; });
+  sim.run(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, HorizonAdvancesIdleClock) {
+  Simulator sim;
+  sim.run(10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.after(-1.0, [] {}), InvariantViolation);
+}
+
+TEST(Simulator, SchedulingIntoPastThrows) {
+  Simulator sim;
+  sim.after(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(1.0, [] {}), InvariantViolation);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.after(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.idle());
+}
+
+TEST(Simulator, StepReturnsFalseWhenIdle) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.after(0.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ResetEventsDropsPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(1.0, [&] { ++fired; });
+  sim.reset_events();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, EventsExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.after(static_cast<double>(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulator, SelfReschedulingTimer) {
+  Simulator sim;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 100) sim.after(1.0, tick);
+  };
+  sim.after(1.0, tick);
+  sim.run();
+  EXPECT_EQ(ticks, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+/// Property: simulator ordering matches a reference sort for random loads.
+class SimOrderingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimOrderingProperty, MatchesReferenceOrder) {
+  Rng rng(GetParam());
+  Simulator sim;
+  std::vector<std::pair<double, int>> expect;
+  std::vector<int> got;
+  for (int i = 0; i < 300; ++i) {
+    const double t = rng.uniform(0.0, 50.0);
+    expect.emplace_back(t, i);
+    sim.after(t, [&got, i] { got.push_back(i); });
+  }
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  sim.run();
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expect[i].second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimOrderingProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace qip

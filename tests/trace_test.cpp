@@ -1,0 +1,144 @@
+// Protocol-trace grammar tests: the engine's observable message sequences
+// must follow the exchanges of §IV (Table 1 and Figures 2–3).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/qip_engine.hpp"
+#include "harness/driver.hpp"
+#include "harness/world.hpp"
+
+namespace qip {
+namespace {
+
+struct TraceFixture : ::testing::Test {
+  WorldParams wp{};
+  World world{wp, /*seed=*/808};
+  QipParams qp{};
+  std::unique_ptr<QipEngine> proto;
+  std::unique_ptr<Driver> driver;
+  std::vector<TraceEvent> events;
+
+  void init() {
+    qp.pool_size = 256;
+    proto = std::make_unique<QipEngine>(world.transport(), world.rng(), qp);
+    proto->start_hello();
+    proto->set_trace([this](const TraceEvent& ev) { events.push_back(ev); });
+    DriverOptions dopt;
+    dopt.mobility = false;
+    dopt.arrival_interval = 1.0;
+    driver = std::make_unique<Driver>(world, *proto, dopt);
+  }
+
+  std::vector<const TraceEvent*> of_kind(QipMsg m) const {
+    std::vector<const TraceEvent*> out;
+    for (const auto& ev : events) {
+      if (ev.msg == m) out.push_back(&ev);
+    }
+    return out;
+  }
+
+  /// Index of the first event of kind m, or npos.
+  std::size_t first_of(QipMsg m) const {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (events[i].msg == m) return i;
+    }
+    return static_cast<std::size_t>(-1);
+  }
+};
+
+TEST_F(TraceFixture, CommonNodeExchangeOrder) {
+  init();
+  driver->join_at({500, 500});
+  world.run_for(5.0);
+  events.clear();
+  const NodeId b = driver->join_at({600, 500});
+  world.run_for(2.0);
+  ASSERT_TRUE(proto->configured(b));
+  // COM_REQ strictly precedes COM_CFG, which precedes COM_ACK.
+  const auto req = first_of(QipMsg::kComReq);
+  const auto cfg = first_of(QipMsg::kComCfg);
+  const auto ack = first_of(QipMsg::kComAck);
+  ASSERT_NE(req, static_cast<std::size_t>(-1));
+  ASSERT_NE(cfg, static_cast<std::size_t>(-1));
+  ASSERT_NE(ack, static_cast<std::size_t>(-1));
+  EXPECT_LT(req, cfg);
+  EXPECT_LT(cfg, ack);
+}
+
+TEST_F(TraceFixture, QuorumReadPrecedesWrite) {
+  init();
+  // Two linked heads so quorum rounds actually run.
+  driver->join_at({100, 500});
+  world.run_for(5.0);
+  driver->join_at({240, 500});
+  driver->join_at({380, 500});
+  driver->join_at({520, 500});
+  world.run_for(3.0);
+  events.clear();
+  const NodeId c = driver->join_at({560, 560});
+  world.run_for(3.0);
+  ASSERT_TRUE(proto->configured(c));
+  const auto clt = first_of(QipMsg::kQuorumClt);
+  const auto cfm = first_of(QipMsg::kQuorumCfm);
+  const auto upd = first_of(QipMsg::kQuorumUpd);
+  ASSERT_NE(clt, static_cast<std::size_t>(-1));
+  ASSERT_NE(cfm, static_cast<std::size_t>(-1));
+  ASSERT_NE(upd, static_cast<std::size_t>(-1));
+  EXPECT_LT(clt, cfm) << "votes cannot arrive before they are solicited";
+  EXPECT_LT(cfm, upd) << "the write round must follow the read quorum";
+  // Every CFM is a grant/busy/conflict — the detail field says which.
+  for (const TraceEvent* ev : of_kind(QipMsg::kQuorumCfm)) {
+    EXPECT_TRUE(ev->detail == "grant" || ev->detail == "busy" ||
+                ev->detail == "conflict")
+        << ev->detail;
+  }
+}
+
+TEST_F(TraceFixture, Table1HandshakeComplete) {
+  init();
+  driver->join_at({100, 500});
+  world.run_for(5.0);
+  driver->join_at({240, 500});
+  driver->join_at({380, 500});
+  events.clear();
+  const NodeId b = driver->join_at({520, 500});
+  world.run_for(3.0);
+  ASSERT_EQ(proto->state_of(b).role, Role::kClusterHead);
+  const QipMsg order[] = {QipMsg::kChReq, QipMsg::kChPrp, QipMsg::kChCnf,
+                          QipMsg::kChCfg, QipMsg::kChAck};
+  std::size_t prev = 0;
+  for (QipMsg m : order) {
+    const auto at = first_of(m);
+    ASSERT_NE(at, static_cast<std::size_t>(-1)) << to_string(m);
+    EXPECT_GE(at, prev) << to_string(m) << " out of order";
+    prev = at;
+  }
+}
+
+TEST_F(TraceFixture, TimesAreNonDecreasing) {
+  init();
+  driver->join(10);
+  world.run_for(5.0);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+  EXPECT_GT(events.size(), 10u);
+}
+
+TEST_F(TraceFixture, DepartureEmitsReturnAddr) {
+  init();
+  driver->join_at({500, 500});
+  world.run_for(5.0);
+  const NodeId b = driver->join_at({600, 500});
+  world.run_for(2.0);
+  events.clear();
+  driver->depart_graceful(b);
+  world.run_for(1.0);
+  EXPECT_FALSE(of_kind(QipMsg::kReturnAddr).empty());
+  EXPECT_FALSE(of_kind(QipMsg::kReturnAck).empty());
+}
+
+}  // namespace
+}  // namespace qip

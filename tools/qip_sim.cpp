@@ -1,0 +1,229 @@
+// qip-sim — command-line scenario runner for every protocol in the library.
+//
+//   qip-sim [--protocol qip|manetconf|buddy|ctree|dad|weakdad|pdad|boleng]
+//           [--nodes N] [--range M] [--speed M/S] [--seed S]
+//           [--duration SECS] [--churn N] [--abrupt RATIO]
+//           [--pool N] [--csv FILE] [--quiet]
+//
+// Joins N nodes sequentially, lets them roam for the duration, applies the
+// requested churn (departures + replacement arrivals), and prints a summary
+// plus (optionally) a per-node CSV of configuration records.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "baselines/boleng.hpp"
+#include "baselines/buddy.hpp"
+#include "baselines/ctree.hpp"
+#include "baselines/dad.hpp"
+#include "baselines/manetconf.hpp"
+#include "baselines/pdad.hpp"
+#include "baselines/weak_dad.hpp"
+#include "core/qip_engine.hpp"
+#include "harness/driver.hpp"
+#include "harness/world.hpp"
+#include "util/csv.hpp"
+
+using namespace qip;
+
+namespace {
+
+struct Options {
+  std::string protocol = "qip";
+  std::uint32_t nodes = 100;
+  double range = 150.0;
+  double speed = 20.0;
+  std::uint64_t seed = 1;
+  double duration = 30.0;
+  std::uint32_t churn = 0;
+  double abrupt = 0.2;
+  std::uint64_t pool = 1024;
+  std::string csv_path;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--protocol qip|manetconf|buddy|ctree|dad|weakdad|pdad|"
+      "boleng]\n"
+      "          [--nodes N] [--range M] [--speed M/S] [--seed S]\n"
+      "          [--duration SECS] [--churn N] [--abrupt RATIO]\n"
+      "          [--pool N] [--csv FILE] [--quiet]\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--protocol") {
+      opt.protocol = value();
+    } else if (arg == "--nodes") {
+      opt.nodes = static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--range") {
+      opt.range = std::strtod(value(), nullptr);
+    } else if (arg == "--speed") {
+      opt.speed = std::strtod(value(), nullptr);
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--duration") {
+      opt.duration = std::strtod(value(), nullptr);
+    } else if (arg == "--churn") {
+      opt.churn = static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--abrupt") {
+      opt.abrupt = std::strtod(value(), nullptr);
+    } else if (arg == "--pool") {
+      opt.pool = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--csv") {
+      opt.csv_path = value();
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (opt.nodes == 0 || opt.range <= 0 || opt.pool < 4) usage(argv[0]);
+  return opt;
+}
+
+std::unique_ptr<AutoconfProtocol> make_protocol(const Options& opt,
+                                                World& world) {
+  if (opt.protocol == "qip") {
+    QipParams p;
+    p.pool_size = opt.pool;
+    auto proto = std::make_unique<QipEngine>(world.transport(), world.rng(), p);
+    proto->start_hello();
+    return proto;
+  }
+  if (opt.protocol == "manetconf") {
+    ManetConfParams p;
+    p.pool_size = opt.pool;
+    return std::make_unique<ManetConf>(world.transport(), world.rng(), p);
+  }
+  if (opt.protocol == "buddy") {
+    BuddyParams p;
+    p.pool_size = opt.pool;
+    auto proto =
+        std::make_unique<BuddyProtocol>(world.transport(), world.rng(), p);
+    proto->start_sync();
+    return proto;
+  }
+  if (opt.protocol == "ctree") {
+    CTreeParams p;
+    p.pool_size = opt.pool;
+    auto proto =
+        std::make_unique<CTreeProtocol>(world.transport(), world.rng(), p);
+    proto->start_updates();
+    return proto;
+  }
+  if (opt.protocol == "dad") {
+    DadParams p;
+    p.pool_size = opt.pool;
+    return std::make_unique<DadProtocol>(world.transport(), world.rng(), p);
+  }
+  if (opt.protocol == "weakdad") {
+    WeakDadParams p;
+    p.pool_size = opt.pool;
+    auto proto =
+        std::make_unique<WeakDadProtocol>(world.transport(), world.rng(), p);
+    proto->start_updates();
+    return proto;
+  }
+  if (opt.protocol == "pdad") {
+    PdadParams p;
+    p.pool_size = opt.pool;
+    auto proto =
+        std::make_unique<PdadProtocol>(world.transport(), world.rng(), p);
+    proto->start_routing();
+    return proto;
+  }
+  if (opt.protocol == "boleng") {
+    auto proto =
+        std::make_unique<BolengProtocol>(world.transport(), world.rng());
+    proto->start_beacons();
+    return proto;
+  }
+  std::fprintf(stderr, "unknown protocol: %s\n", opt.protocol.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  WorldParams wp;
+  wp.transmission_range = opt.range;
+  wp.speed = opt.speed;
+  World world(wp, opt.seed);
+  auto proto = make_protocol(opt, world);
+  Driver driver(world, *proto);
+
+  if (!opt.quiet) {
+    std::printf("qip-sim: %s, %u nodes, tr=%.0fm, %.0f m/s, seed %llu\n",
+                proto->name().c_str(), opt.nodes, opt.range, opt.speed,
+                static_cast<unsigned long long>(opt.seed));
+  }
+  driver.join(opt.nodes);
+  world.run_for(2.0);
+
+  if (opt.churn > 0) {
+    for (std::uint32_t i = 0; i < opt.churn && !driver.members().empty();
+         ++i) {
+      const NodeId victim =
+          driver.members()[world.rng().index(driver.members().size())];
+      if (world.rng().chance(opt.abrupt)) {
+        driver.depart_abrupt(victim);
+      } else {
+        driver.depart_graceful(victim);
+      }
+      driver.join_one();
+    }
+  }
+  world.run_for(opt.duration);
+
+  // ---- summary ------------------------------------------------------------
+  const auto& stats = world.stats();
+  std::printf("configured: %.1f%%  mean latency: %.2f hops  joins: %u\n",
+              100.0 * driver.configured_fraction(),
+              driver.mean_config_latency(), driver.joined_count());
+  std::printf("%s", stats.to_string().c_str());
+  std::printf("protocol hops total (hello excluded): %llu\n",
+              static_cast<unsigned long long>(stats.protocol_hops()));
+
+  if (!opt.csv_path.empty()) {
+    std::ofstream out(opt.csv_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opt.csv_path.c_str());
+      return 1;
+    }
+    CsvWriter csv(out);
+    csv.write_row({"node", "success", "address", "latency_hops", "attempts",
+                   "requested_at", "completed_at"});
+    for (NodeId id = 0; id < driver.joined_count(); ++id) {
+      const ConfigRecord* rec = proto->config_record(id);
+      if (!rec) continue;
+      csv.write_row({std::to_string(id), rec->success ? "1" : "0",
+                     rec->address.to_string(),
+                     std::to_string(rec->latency_hops),
+                     std::to_string(rec->attempts),
+                     std::to_string(rec->requested_at),
+                     std::to_string(rec->completed_at)});
+    }
+    if (!opt.quiet) {
+      std::printf("wrote per-node records to %s\n", opt.csv_path.c_str());
+    }
+  }
+  return 0;
+}
