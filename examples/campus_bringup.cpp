@@ -9,11 +9,14 @@
 
 #include "core/qip_engine.hpp"
 #include "harness/driver.hpp"
+#include "harness/seed.hpp"
 #include "harness/world.hpp"
 
 using namespace qip;
 
 namespace {
+
+std::uint64_t g_seed = 2026;
 
 struct RunResult {
   double configured = 0.0;
@@ -28,7 +31,7 @@ RunResult run_campus(bool periodic_updates) {
   WorldParams wp;
   wp.transmission_range = 150.0;
   wp.speed = 20.0;
-  World world(wp, /*seed=*/2026);
+  World world(wp, g_seed);
 
   QipParams qp;
   qp.pool_size = 1024;
@@ -52,7 +55,8 @@ RunResult run_campus(bool periodic_updates) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_seed = resolve_seed(/*fallback=*/2026, argc, argv);
   std::printf("Campus bring-up: 150 devices, 1 km^2, 20 m/s roaming\n\n");
 
   const RunResult periodic = run_campus(true);

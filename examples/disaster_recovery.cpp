@@ -11,15 +11,16 @@
 
 #include "core/qip_engine.hpp"
 #include "harness/driver.hpp"
+#include "harness/seed.hpp"
 #include "harness/world.hpp"
 
 using namespace qip;
 
-int main() {
+int main(int argc, char** argv) {
   WorldParams wp;
   wp.transmission_range = 150.0;
   wp.speed = 5.0;  // survivors move slowly
-  World world(wp, /*seed=*/1234);
+  World world(wp, resolve_seed(/*fallback=*/1234, argc, argv));
 
   QipParams qp;
   qp.pool_size = 1024;

@@ -11,6 +11,7 @@
 
 #include "core/qip_engine.hpp"
 #include "harness/driver.hpp"
+#include "harness/seed.hpp"
 #include "harness/world.hpp"
 
 using namespace qip;
@@ -38,10 +39,10 @@ void print_census(const QipEngine& proto, const Driver& driver) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   WorldParams wp;
   wp.transmission_range = 150.0;
-  World world(wp, /*seed=*/7);
+  World world(wp, resolve_seed(/*fallback=*/7, argc, argv));
 
   QipParams qp;
   qp.pool_size = 512;

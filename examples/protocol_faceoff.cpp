@@ -14,12 +14,15 @@
 #include "baselines/weak_dad.hpp"
 #include "core/qip_engine.hpp"
 #include "harness/driver.hpp"
+#include "harness/seed.hpp"
 #include "harness/world.hpp"
 #include "util/table.hpp"
 
 using namespace qip;
 
 namespace {
+
+std::uint64_t g_seed = 99;
 
 struct Row {
   std::string name;
@@ -33,7 +36,7 @@ template <typename MakeProto>
 Row run_scenario(const std::string& name, MakeProto&& make) {
   WorldParams wp;
   wp.transmission_range = 150.0;
-  World world(wp, /*seed=*/99);
+  World world(wp, g_seed);
   auto proto = make(world);
 
   DriverOptions dopt;
@@ -59,7 +62,8 @@ Row run_scenario(const std::string& name, MakeProto&& make) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_seed = resolve_seed(/*fallback=*/99, argc, argv);
   std::printf("80 nodes join a 1 km^2 field (tr=150m, 20 m/s), then 20 s of "
               "steady state.\n\n");
   std::vector<Row> rows;

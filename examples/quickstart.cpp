@@ -8,15 +8,16 @@
 
 #include "core/qip_engine.hpp"
 #include "harness/driver.hpp"
+#include "harness/seed.hpp"
 #include "harness/world.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qip;
 
   // 1 km x 1 km field, 150 m radios, nodes roam at 20 m/s.
   WorldParams wp;
   wp.transmission_range = 150.0;
-  World world(wp, /*seed=*/42);
+  World world(wp, resolve_seed(/*fallback=*/42, argc, argv));
 
   QipParams qp;
   qp.pool_size = 1024;

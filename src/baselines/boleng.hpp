@@ -37,6 +37,10 @@ class BolengProtocol : public AutoconfProtocol {
   ~BolengProtocol() override;
 
   std::string name() const override { return "Boleng"; }
+  /// Disjoint camps assign independently; the beacon census resolves the
+  /// duplicates only after contact, so instantaneous uniqueness is not part
+  /// of the scheme's contract.
+  bool audit_uniqueness() const override { return false; }
 
   void node_entered(NodeId id) override;
   void node_departing(NodeId id) override {}  // addresses are never returned

@@ -36,6 +36,11 @@ class BuddyProtocol : public AutoconfProtocol {
   ~BuddyProtocol() override;
 
   std::string name() const override { return "Buddy"; }
+  /// A joiner that exhausts its bootstrap retries without reaching a
+  /// splittable allocator seizes the full pool as a fresh root — the
+  /// paper's global sync would repair the resulting duplicates, but the
+  /// model does not, so instantaneous uniqueness is not promised.
+  bool audit_uniqueness() const override { return false; }
 
   void node_entered(NodeId id) override;
   void node_departing(NodeId id) override;

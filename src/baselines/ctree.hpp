@@ -43,6 +43,13 @@ class CTreeProtocol : public AutoconfProtocol {
 
   std::string name() const override { return "C-tree"; }
 
+  /// No replication: a crashed coordinator's allocations survive only in the
+  /// root's last periodic snapshot, so reclamation after information loss
+  /// re-issues addresses crashed-and-returned or stranded nodes still hold.
+  /// That vulnerability is the phenomenon Figs. 13/14 measure — not a bug
+  /// the auditor should abort on.
+  bool audit_uniqueness() const override { return false; }
+
   void node_entered(NodeId id) override;
   void node_departing(NodeId id) override;
   void node_left(NodeId id) override;

@@ -40,6 +40,10 @@ class ManetConf : public AutoconfProtocol {
   ~ManetConf() override;
 
   std::string name() const override { return "MANETconf"; }
+  /// Two concurrent initiators can pick the same lowest-free candidate and
+  /// both assign it (the paper's initiator mutual exclusion is not part of
+  /// this model), so uniqueness cannot be promised at every instant.
+  bool audit_uniqueness() const override { return false; }
 
   void node_entered(NodeId id) override;
   void node_departing(NodeId id) override;

@@ -44,6 +44,8 @@ class PdadProtocol : public AutoconfProtocol {
   ~PdadProtocol() override;
 
   std::string name() const override { return "PDAD"; }
+  /// Passive detection: duplicates exist until routing hints reveal them.
+  bool audit_uniqueness() const override { return false; }
 
   void node_entered(NodeId id) override;
   void node_departing(NodeId id) override {}

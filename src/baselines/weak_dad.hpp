@@ -43,6 +43,9 @@ class WeakDadProtocol : public AutoconfProtocol {
   ~WeakDadProtocol() override;
 
   std::string name() const override { return "WeakDAD"; }
+  /// Duplicates are tolerated by design: routing keys keep packets flowing
+  /// past address collisions, so the auditor must not treat them as fatal.
+  bool audit_uniqueness() const override { return false; }
 
   void node_entered(NodeId id) override;
   void node_departing(NodeId id) override {}  // stateless: nothing to return

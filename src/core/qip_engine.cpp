@@ -47,8 +47,57 @@ const char* to_string(QipMsg m) {
 QipEngine::QipEngine(Transport& transport, Rng& rng, QipParams params)
     : AutoconfProtocol(transport, rng),
       params_(params),
+      channel_(transport, ReliableParams{params.rpc_retry_timeout,
+                                         params.rpc_retry_backoff,
+                                         params.rpc_max_retries}),
       clusters_(transport.topology()) {
   QIP_ASSERT(params_.pool_size >= 4);
+  channel_.set_enabled(params_.reliable_rpcs);
+}
+
+bool QipEngine::quorum_critical(QipMsg m) {
+  switch (m) {
+    case QipMsg::kQuorumClt:   // lock acquire / read round
+    case QipMsg::kQuorumCfm:   // vote
+    case QipMsg::kQuorumUpd:   // commit / write round
+    case QipMsg::kQuorumRel:   // abort-path release
+    case QipMsg::kQdJoin:      // replica sync
+    case QipMsg::kQdWelcome:
+    case QipMsg::kRepReq:      // liveness probe gating reclamation
+    case QipMsg::kRepAck:
+    case QipMsg::kReclaimDone:
+    case QipMsg::kComCfg:      // configuration handover
+    case QipMsg::kComAck:
+    case QipMsg::kChPrp:
+    case QipMsg::kChCnf:
+    case QipMsg::kChCfg:
+    case QipMsg::kChAck:
+    case QipMsg::kReturnAddr:  // departure: losing one leaks an address
+    case QipMsg::kReturnAck:
+    case QipMsg::kBlockReturn:
+    case QipMsg::kResign:
+    case QipMsg::kAllocChange:
+      return true;
+    case QipMsg::kHello:       // periodic — the next beacon retries for free
+    case QipMsg::kComReq:      // entry retries cover these
+    case QipMsg::kChReq:
+    case QipMsg::kUpdateLoc:   // soft state, refreshed every scan
+    case QipMsg::kAddrRec:     // flood-borne
+    case QipMsg::kRecRep:      // reclamation probes unclaimed holders anyway
+    case QipMsg::kMergePoll:   // periodic merge scan
+      return false;
+  }
+  return false;
+}
+
+std::uint64_t QipEngine::audit_domain(NodeId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return 0;
+  const NetworkId& nid = it->second.network_id;
+  // Two healed partitions share a nonce but disagree on the low address
+  // until the merge resolves, so both fields feed the tag.
+  return (static_cast<std::uint64_t>(nid.low.value()) << 32) ^
+         (nid.nonce * 0x9e3779b97f4a7c15ULL);
 }
 
 QipEngine::~QipEngine() {
@@ -82,11 +131,16 @@ bool QipEngine::send(NodeId from, NodeId to, QipMsg msg, Traffic traffic,
                      std::uint64_t hops_base,
                      std::function<void(std::uint64_t)> fn,
                      const std::string& detail) {
-  auto hops = transport().unicast(
-      from, to, traffic,
-      [this, hops_base, fn = std::move(fn)](NodeId, std::uint32_t d) {
-        fn(hops_base + d);
-      });
+  auto deliver = [this, hops_base,
+                  fn = std::move(fn)](NodeId, std::uint32_t d) {
+    fn(hops_base + d);
+  };
+  // Quorum-critical RPCs ride the reliable channel; under the paper's
+  // reliable model (no active fault plan) it is a plain unicast either way.
+  const auto hops =
+      quorum_critical(msg)
+          ? channel_.send(from, to, traffic, std::move(deliver))
+          : transport().unicast(from, to, traffic, std::move(deliver));
   if (!hops) return false;
   trace(msg, from, to, *hops, detail);
   return true;
@@ -116,6 +170,13 @@ void QipEngine::start_configuration(NodeId id) {
   auto& st = node(id);
   if (st.role != Role::kUnconfigured) return;
   st.last_entry_attempt = sim().now();
+
+  // A crashed radio can neither request nor bootstrap-broadcast, yet it may
+  // still *see* nearby heads — without this park the entry flow would cycle
+  // start_configuration -> (sends fail) -> bootstrap_attempt -> (head
+  // visible) -> start_configuration forever at one instant.  Stay
+  // unconfigured; the hello rescue scan retries after recovery.
+  if (!transport().radio_up(id)) return;
 
   // §IV-B: join as a common node when a head is within ch_radius hops; the
   // entering node learns nearby heads from their periodic hello messages.
@@ -192,6 +253,12 @@ void QipEngine::bootstrap_attempt(NodeId id) {
   if (!alive(id) || !topology().has_node(id)) return;
   auto& st = node(id);
   if (st.role != Role::kUnconfigured) return;
+  if (!transport().radio_up(id)) {
+    // Radio crashed while the retry timer was pending: park (see
+    // start_configuration) instead of burning retries into become_first_head.
+    st.last_entry_attempt = sim().now();
+    return;
+  }
 
   // A head may have appeared (another bootstrapper won, or we moved into a
   // configured network): fall back to normal configuration.

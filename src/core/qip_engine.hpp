@@ -42,6 +42,7 @@
 #include "core/qip_params.hpp"
 #include "core/qip_types.hpp"
 #include "net/protocol.hpp"
+#include "net/reliable_channel.hpp"
 
 namespace qip {
 
@@ -58,6 +59,17 @@ class QipEngine : public AutoconfProtocol {
   void node_left(NodeId id) override;
   void node_vanished(NodeId id) override;
   void on_mobility_tick() override;
+  std::uint64_t audit_domain(NodeId id) const override;
+
+  /// Live state, not the ConfigRecord bookkeeping: internal reconfiguration
+  /// paths (merge dissolution, isolated-head recovery, heal) move a node's
+  /// address without re-running the entry flow, so the record's address can
+  /// go stale while the node legitimately holds a different one.
+  std::optional<IpAddress> address_of(NodeId id) const override {
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) return std::nullopt;
+    return it->second.ip;
+  }
 
   // -- Introspection (tests, figures) --------------------------------------
   const QipParams& params() const { return params_; }
@@ -89,6 +101,18 @@ class QipEngine : public AutoconfProtocol {
 
   /// Installs a trace sink receiving every protocol message (Table 1).
   void set_trace(TraceSink sink) { trace_ = std::move(sink); }
+
+  /// The ack+retransmit channel quorum-critical RPCs ride under fault
+  /// injection (pass-through otherwise).  Exposed so fault tests can read
+  /// retransmission counts or force-disable it.
+  ReliableChannel& channel() { return channel_; }
+  const ReliableChannel& channel() const { return channel_; }
+
+  /// True for RPCs that opt into the ReliableChannel: lock/vote/commit,
+  /// replica sync, liveness probes and config/departure handshakes.  Entry
+  /// requests, HELLO beacons, location updates and flood-borne messages stay
+  /// best-effort (their own periodic retries tolerate loss).
+  static bool quorum_critical(QipMsg m);
 
   /// All configured addresses: node -> address (sorted for determinism).
   std::map<NodeId, IpAddress> configured_addresses() const;
@@ -200,6 +224,7 @@ class QipEngine : public AutoconfProtocol {
 
   // ---- data ---------------------------------------------------------------
   QipParams params_;
+  ReliableChannel channel_;
   ClusterView clusters_;
   std::map<NodeId, QipNodeState> nodes_;
   std::map<std::uint64_t, ConfigTxn> txns_;

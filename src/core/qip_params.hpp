@@ -105,6 +105,33 @@ struct QipParams {
   /// agent forwarding as the sole fallback — the ablation bench measures
   /// what borrowing buys).
   bool enable_borrowing = true;
+
+  /// Hello cross-checking: a node that hears a same-network neighbor claim
+  /// its own address — or a head that hears a claim its table binds to a
+  /// different holder, or overlaps universes with a same-network head —
+  /// runs the component-wide freshness reconciliation of a heal (§V-C
+  /// resolves conflicts at contact).  Off by default: the paper's reliable
+  /// model leaves such reclamation-reissue races to settle through the
+  /// ordinary merge machinery, and the figure benches reproduce those exact
+  /// message flows.  Fault experiments turn it on, because lost REC_REP /
+  /// replica-sync messages make stranded-holder conflicts common enough to
+  /// need active repair.
+  bool heal_on_conflict_evidence = false;
+
+  /// Quorum-critical RPCs (lock/vote/commit, replica sync, REP_REQ, config
+  /// handshakes) ride the ack+retransmit ReliableChannel.  The channel only
+  /// engages while the transport's fault plan is active — under the paper's
+  /// reliable model it is a zero-overhead pass-through — so this knob
+  /// matters only to fault experiments (the ablation: what does reliability
+  /// buy under loss?).  HELLO beacons and floods always stay best-effort.
+  bool reliable_rpcs = true;
+
+  /// ReliableChannel tuning: first ack deadline, per-retry backoff factor,
+  /// and retransmissions after the initial attempt.  The defaults retire a
+  /// message in ~2.5 s worst case, well inside txn_timeout.
+  SimTime rpc_retry_timeout = 0.08;
+  double rpc_retry_backoff = 2.0;
+  std::uint32_t rpc_max_retries = 5;
 };
 
 }  // namespace qip

@@ -24,7 +24,33 @@ void QipEngine::merge_scan() {
       if (!alive(nb)) continue;
       const auto& other = node(nb);
       if (other.role == Role::kUnconfigured) continue;
-      if (other.network_id == st.network_id) continue;
+      if (other.network_id == st.network_id) {
+        if (!params_.heal_on_conflict_evidence) continue;
+        // Same network id: the ids never diverged, but a reclamation may
+        // still have re-issued an address a stranded node holds (the
+        // stranded side kept the network's lowest IP in sight, so no
+        // boundary ever forms).  The hello exchange cross-checks claims;
+        // three pieces of hard evidence — each impossible while the quorum
+        // invariants hold — trigger the same component-wide freshness
+        // reconciliation a heal runs:
+        const bool same_ip = st.ip && other.ip && *st.ip == *other.ip;
+        bool stale_claim = false;
+        if (st.role == Role::kClusterHead && other.ip &&
+            st.owned_universe.contains(*other.ip)) {
+          const auto rec = st.table.get(*other.ip);
+          stale_claim =
+              rec.status == AddressStatus::kAllocated && rec.holder != nb;
+        }
+        const bool overlap =
+            st.role == Role::kClusterHead &&
+            other.role == Role::kClusterHead &&
+            !st.owned_universe.disjoint_with(other.owned_universe);
+        if (same_ip || stale_claim || overlap) {
+          heal_partition(id);
+          return;
+        }
+        continue;
+      }
       if (other.network_id.nonce == st.network_id.nonce) {
         heal_partition(id);
         return;

@@ -1,0 +1,48 @@
+#include "fault/fault_injector.hpp"
+
+namespace qip {
+
+bool FaultInjector::node_up(NodeId n, SimTime now) const {
+  for (const auto& o : plan_.node_outages) {
+    if (o.node == n && now >= o.from && now < o.until) return false;
+  }
+  return true;
+}
+
+bool FaultInjector::link_up(NodeId a, NodeId b, SimTime now) const {
+  for (const auto& o : plan_.link_outages) {
+    const bool match = (o.a == a && o.b == b) || (o.a == b && o.b == a);
+    if (match && now >= o.from && now < o.until) return false;
+  }
+  return true;
+}
+
+FaultInjector::Delivery FaultInjector::judge(NodeId from, NodeId to,
+                                             SimTime now) {
+  Delivery d;
+  if (!active_) {
+    ++stats_.delivered;
+    return d;  // no RNG draw: a null plan stays byte-identical
+  }
+  if (!link_up(from, to, now) || !node_up(from, now) || !node_up(to, now)) {
+    ++stats_.blackouts;
+    d.copies = 0;
+    return d;
+  }
+  if (plan_.drop > 0.0 && rng_.chance(plan_.drop)) {
+    ++stats_.dropped;
+    d.copies = 0;
+    return d;
+  }
+  if (plan_.max_jitter > 0.0) d.extra[0] = rng_.uniform(0.0, plan_.max_jitter);
+  if (plan_.duplicate > 0.0 && rng_.chance(plan_.duplicate)) {
+    ++stats_.duplicated;
+    d.copies = 2;
+    d.extra[1] =
+        plan_.max_jitter > 0.0 ? rng_.uniform(0.0, plan_.max_jitter) : 0.0;
+  }
+  ++stats_.delivered;
+  return d;
+}
+
+}  // namespace qip

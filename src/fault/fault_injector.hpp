@@ -1,0 +1,64 @@
+// Deterministic interpreter of a FaultPlan.
+//
+// The Transport consults the injector at two points: when a node transmits
+// (a crashed radio cannot send) and per scheduled delivery (drop,
+// duplicate, jitter, link/receiver outage).  All randomness lives in the
+// injector's private RNG, seeded from the plan, so the protocol's own RNG
+// stream is untouched and a run with a null plan is byte-identical to a run
+// with no injector at all — judge() short-circuits before drawing anything.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_plan.hpp"
+#include "util/rng.hpp"
+
+namespace qip {
+
+/// What the injector did, for tests and post-run reports.
+struct FaultStats {
+  std::uint64_t delivered = 0;    ///< deliveries that survived injection
+  std::uint64_t dropped = 0;      ///< lost to the drop probability
+  std::uint64_t duplicated = 0;   ///< deliveries cloned once
+  std::uint64_t blackouts = 0;    ///< suppressed by a node/link outage
+  std::uint64_t sends_blocked = 0;///< transmissions by a crashed radio
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan)
+      : plan_(std::move(plan)), rng_(plan_.seed), active_(!plan_.null()) {}
+
+  bool active() const { return active_; }
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// True when `n`'s radio is outside every crash window at `now`.
+  bool node_up(NodeId n, SimTime now) const;
+
+  /// True when no link outage covers {a, b} at `now`.
+  bool link_up(NodeId a, NodeId b, SimTime now) const;
+
+  /// Called by the transport when a crashed node attempts to transmit.
+  void note_blocked_send() { ++stats_.sends_blocked; }
+
+  /// Called by the transport when the receiver's radio is down at delivery
+  /// time (judge() can only see the send instant).
+  void note_blackout() { ++stats_.blackouts; }
+
+  /// Fate of one delivery from -> to sent at `now`: how many copies arrive
+  /// (0 = lost) and the extra latency of each.  Jitter is sampled per copy.
+  struct Delivery {
+    std::uint32_t copies = 1;
+    SimTime extra[2] = {0.0, 0.0};
+  };
+  Delivery judge(NodeId from, NodeId to, SimTime now);
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  bool active_;
+  FaultStats stats_;
+};
+
+}  // namespace qip

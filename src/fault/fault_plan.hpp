@@ -1,0 +1,66 @@
+// Declarative description of the message-level faults a run injects.
+//
+// The paper assumes "reliable delivery of messages within transmission
+// range" (§IV-B); a FaultPlan removes that assumption so the failure
+// machinery (quorum adjustment after T_d, REP_REQ probing, reclamation) is
+// exercised against lossy delivery, not only against topology changes.  A
+// plan is pure data — the FaultInjector interprets it deterministically
+// from its own seed, so enabling faults never perturbs the protocol RNG
+// stream and a default-constructed (null) plan leaves every run
+// byte-identical to one with no injector attached.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "sim/event_queue.hpp"
+
+namespace qip {
+
+/// Burst outage on one link: every delivery whose endpoints are `a` and `b`
+/// (either direction) is dropped while `from <= now < until`.
+struct LinkOutage {
+  NodeId a = kNoNode;
+  NodeId b = kNoNode;
+  SimTime from = 0.0;
+  SimTime until = 0.0;
+};
+
+/// Crash/recover window for one node's radio: while down it neither
+/// transmits nor hears anything.  Protocol timers keep firing — exactly the
+/// point: peers must survive the silence.  `until` = +inf models a crash
+/// with no recovery.
+struct NodeOutage {
+  NodeId node = kNoNode;
+  SimTime from = 0.0;
+  SimTime until = 0.0;
+};
+
+struct FaultPlan {
+  /// Per-delivery loss probability in [0, 1].  Applied independently to
+  /// each receiver of a broadcast/flood, matching independent radio fades.
+  double drop = 0.0;
+
+  /// Per-delivery duplication probability in [0, 1]: the receiver hears the
+  /// message twice (second copy gets its own jitter).
+  double duplicate = 0.0;
+
+  /// Extra delivery latency, uniform in [0, max_jitter] seconds.
+  SimTime max_jitter = 0.0;
+
+  std::vector<LinkOutage> link_outages;
+  std::vector<NodeOutage> node_outages;
+
+  /// Seed of the injector's private RNG (decorrelated from the world seed
+  /// on purpose: the same scenario can be replayed under many fault draws).
+  std::uint64_t seed = 0xfa'0117'0001ULL;
+
+  /// True when the plan injects nothing; a null plan consumes no randomness.
+  bool null() const {
+    return drop <= 0.0 && duplicate <= 0.0 && max_jitter <= 0.0 &&
+           link_outages.empty() && node_outages.empty();
+  }
+};
+
+}  // namespace qip

@@ -1,0 +1,89 @@
+#include "harness/auditor.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/qip_engine.hpp"
+#include "util/assert.hpp"
+
+namespace qip {
+
+UniquenessAuditor::UniquenessAuditor(Simulator& sim, const Topology& topology,
+                                     const AutoconfProtocol& proto,
+                                     SimTime period, SimTime grace)
+    : sim_(sim), topology_(topology), proto_(proto), grace_(grace) {
+  // Experiment override: QIP_AUDIT_GRACE=<seconds> retunes the healing
+  // horizon without a rebuild (pairs with QIP_AUDIT_TRACE for measuring
+  // conflict-window lengths).
+  if (const char* env = std::getenv("QIP_AUDIT_GRACE")) {
+    char* end = nullptr;
+    const double parsed = std::strtod(env, &end);
+    // An unparseable value must not silently become grace 0 (the strictest
+    // possible setting); keep the configured default instead.
+    if (end != env && *end == '\0' && parsed >= 0.0) grace_ = parsed;
+  }
+  probe_token_ = sim_.add_probe(period, [this] { check_now(); });
+}
+
+UniquenessAuditor::~UniquenessAuditor() { sim_.remove_probe(probe_token_); }
+
+void UniquenessAuditor::check_now() {
+  ++checks_;
+
+  // Uniqueness: within one connected component and one audit domain, every
+  // configured address has exactly one holder.  Conflicts across components
+  // (independent bootstraps) or domains (healed partitions pending merge,
+  // §V-C) are never violations; conflicts within one domain become fatal
+  // only after the grace window (see the header).  Detection/tolerance
+  // schemes opt out entirely (audit_uniqueness()); the leak check below
+  // still runs for them.
+  if (proto_.audit_uniqueness()) {
+    std::map<std::pair<std::uint64_t, IpAddress>, SimTime> live;
+    for (const auto& component : topology_.components()) {
+      std::map<std::pair<std::uint64_t, IpAddress>, NodeId> seen;
+      for (NodeId id : component) {
+        const auto addr = proto_.address_of(id);
+        if (!addr) continue;
+        const std::uint64_t domain = proto_.audit_domain(id);
+        const auto key = std::make_pair(domain, *addr);
+        const auto [it, fresh] = seen.emplace(key, id);
+        if (fresh) continue;
+        const auto prev = first_seen_.find(key);
+        const SimTime since =
+            prev == first_seen_.end() ? sim_.now() : prev->second;
+        live.emplace(key, since);
+        if (sim_.now() - since < grace_) continue;
+        std::ostringstream diff;
+        diff << "duplicate address at t=" << sim_.now() << ": " << *addr
+             << " held by nodes " << it->second << " and " << id
+             << " in the same connected component since t=" << since
+             << " (grace " << grace_ << "s exceeded; domain " << domain
+             << ", protocol " << proto_.name() << ")";
+        // Observe-only escape hatch for debugging conflict timelines.
+        if (std::getenv("QIP_AUDIT_TRACE")) {
+          std::fprintf(stderr, "[audit] %s\n", diff.str().c_str());
+          continue;
+        }
+        QIP_ASSERT_MSG(false, diff.str());
+      }
+    }
+    first_seen_ = std::move(live);  // resolved conflicts reset their clock
+  }
+
+  // Leak check (QIP): the engine must not retain addressed state for a node
+  // that is gone from the field — such a ghost would keep its address
+  // allocated forever.
+  if (const auto* qip = dynamic_cast<const QipEngine*>(&proto_)) {
+    for (const auto& [id, addr] : qip->configured_addresses()) {
+      if (topology_.has_node(id)) continue;
+      std::ostringstream diff;
+      diff << "leaked address at t=" << sim_.now() << ": node " << id
+           << " left the field but still holds " << addr
+           << " in the engine's state";
+      QIP_ASSERT_MSG(false, diff.str());
+    }
+  }
+}
+
+}  // namespace qip

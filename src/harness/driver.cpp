@@ -12,6 +12,11 @@ Driver::Driver(World& world, AutoconfProtocol& proto, DriverOptions options)
     world_.mobility().set_on_tick([this] { proto_.on_mobility_tick(); });
     world_.mobility().start();
   }
+  if (options_.audit) {
+    auditor_ = std::make_unique<UniquenessAuditor>(
+        world_.sim(), world_.topology(), proto_, options_.audit_period,
+        options_.audit_grace);
+  }
 }
 
 NodeId Driver::join_at(const Point& position) {

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "harness/auditor.hpp"
 #include "harness/world.hpp"
 #include "net/protocol.hpp"
 
@@ -27,6 +29,18 @@ struct DriverOptions {
   /// independent networks that must merge later).  Partition experiments
   /// turn it off.
   bool connected_arrivals = true;
+  /// Always-on uniqueness auditing (see harness/auditor.hpp): the Driver
+  /// attaches a UniquenessAuditor to the protocol so every scenario doubles
+  /// as a fault-tolerance check.  On only for the truly paranoid to turn
+  /// off; it reads state without perturbing determinism.  The Driver owns
+  /// its auditor, so replacing a Driver (and the protocol it drives)
+  /// retires the old probe with it.
+  bool audit = true;
+  SimTime audit_period = 0.5;
+  /// How long a same-domain duplicate may persist before the auditor
+  /// aborts (§V-C resolves conflicts at contact, so the window scales with
+  /// mobility contact times; see harness/auditor.hpp).
+  SimTime audit_grace = 30.0;
 };
 
 class Driver {
@@ -69,6 +83,7 @@ class Driver {
   DriverOptions options_;
   NodeId next_id_ = 0;
   std::vector<NodeId> members_;
+  std::unique_ptr<UniquenessAuditor> auditor_;
 };
 
 /// Snapshot-diff helper: meters the hops a phase of a scenario produced.

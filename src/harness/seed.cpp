@@ -1,0 +1,38 @@
+#include "harness/seed.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace qip {
+
+std::uint64_t resolve_seed(std::uint64_t fallback, int argc,
+                           const char* const* argv, bool announce) {
+  std::uint64_t seed = fallback;
+  const char* source = "default";
+
+  if (const char* env = std::getenv("QIP_SEED"); env && *env) {
+    seed = std::strtoull(env, nullptr, 0);
+    source = "QIP_SEED";
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[i + 1], nullptr, 0);
+      source = "--seed";
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      seed = std::strtoull(arg + 7, nullptr, 0);
+      source = "--seed";
+    }
+  }
+
+  if (announce) {
+    std::printf("effective seed: %llu (%s)\n",
+                static_cast<unsigned long long>(seed), source);
+  }
+  return seed;
+}
+
+}  // namespace qip

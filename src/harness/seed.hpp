@@ -1,0 +1,22 @@
+// Replayable seeds for scenario binaries.
+//
+// Every fault scenario is deterministic given (world seed, fault seed), so
+// reproducing a failure is a matter of re-running with the same numbers.
+// resolve_seed() gives every example and tool one override order —
+// `--seed N` on the command line beats the QIP_SEED environment variable
+// beats the built-in default — and announces the effective value on startup
+// so any run's banner is enough to replay it.
+#pragma once
+
+#include <cstdint>
+
+namespace qip {
+
+/// Resolves the effective seed.  Scans argv (when given) for `--seed N` or
+/// `--seed=N`, then the QIP_SEED environment variable, then `fallback`.
+/// When `announce` is true, prints "effective seed: N" to stdout.
+std::uint64_t resolve_seed(std::uint64_t fallback, int argc = 0,
+                           const char* const* argv = nullptr,
+                           bool announce = true);
+
+}  // namespace qip

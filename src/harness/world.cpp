@@ -12,6 +12,25 @@ World::World(const WorldParams& params, std::uint64_t seed)
       transport_(sim_, topology_, stats_, params.per_hop_delay),
       mobility_(sim_, topology_, rng_, params.mobility_tick) {}
 
+FaultInjector& World::enable_faults(const FaultPlan& plan) {
+  faults_ = std::make_unique<FaultInjector>(plan);
+  transport_.set_fault_injector(faults_.get());
+  return *faults_;
+}
+
+void World::disable_faults() {
+  transport_.set_fault_injector(nullptr);
+  faults_.reset();
+}
+
+UniquenessAuditor& World::audit(const AutoconfProtocol& proto,
+                                SimTime period, SimTime grace) {
+  auditors_.push_back(std::make_unique<UniquenessAuditor>(sim_, topology_,
+                                                          proto, period,
+                                                          grace));
+  return *auditors_.back();
+}
+
 Point World::place_random(NodeId id) {
   const Point p = topology_.area().sample(rng_);
   topology_.add_node(id, p);

@@ -8,8 +8,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "fault/fault_injector.hpp"
 #include "geom/rect.hpp"
+#include "harness/auditor.hpp"
 #include "mobility/waypoint.hpp"
 #include "net/metrics.hpp"
 #include "net/topology.hpp"
@@ -39,6 +42,22 @@ class World {
   Transport& transport() { return transport_; }
   MobilityManager& mobility() { return mobility_; }
 
+  /// Installs a fault plan on the transport (replacing any previous one)
+  /// and returns the injector for stats inspection.  A null plan leaves the
+  /// run byte-identical to one that never called this.
+  FaultInjector& enable_faults(const FaultPlan& plan);
+  void disable_faults();
+  FaultInjector* faults() { return faults_.get(); }
+  const FaultInjector* faults() const { return faults_.get(); }
+
+  /// Attaches a UniquenessAuditor to `proto`, owned by the world — for
+  /// scenarios that drive a protocol without a Driver (which installs and
+  /// owns its own auditor).  The auditor is a read-only simulator probe: it
+  /// never schedules events or perturbs determinism, it only throws on a
+  /// violated invariant.
+  UniquenessAuditor& audit(const AutoconfProtocol& proto,
+                           SimTime period = 0.5, SimTime grace = 30.0);
+
   /// Places a new node uniformly at random; returns its position.
   Point place_random(NodeId id);
 
@@ -57,6 +76,8 @@ class World {
   MessageStats stats_;
   Transport transport_;
   MobilityManager mobility_;
+  std::unique_ptr<FaultInjector> faults_;
+  std::vector<std::unique_ptr<UniquenessAuditor>> auditors_;
 };
 
 }  // namespace qip

@@ -35,6 +35,12 @@ std::string MessageStats::to_string() const {
     os << qip::to_string(t) << ": " << c.messages << " msgs / " << c.hops
        << " hops\n";
   }
+  if (dropped_in_flight_ > 0)
+    os << "dropped in flight: " << dropped_in_flight_ << "\n";
+  if (retransmissions_ > 0 || acks_ > 0) {
+    os << "reliable channel: " << retransmissions_ << " retransmissions / "
+       << acks_ << " acks\n";
+  }
   return os.str();
 }
 

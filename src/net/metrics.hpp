@@ -55,13 +55,37 @@ class MessageStats {
     return total_hops() - of(Traffic::kHello).hops;
   }
 
-  void reset() { counters_ = {}; }
+  /// Unicast deliveries silently lost because the destination departed (or
+  /// its radio crashed) while the message was in flight.  These were charged
+  /// at send time like any other transmission; this counter makes the loss
+  /// visible instead of invisible.
+  void note_dropped_in_flight() { ++dropped_in_flight_; }
+  std::uint64_t dropped_in_flight() const { return dropped_in_flight_; }
+
+  /// Retransmissions and acks issued by the ReliableChannel.  Their hops are
+  /// already charged to the owning traffic category (overhead figures stay
+  /// honest); these counters break out how much of that traffic the channel
+  /// itself generated.
+  void note_retransmission() { ++retransmissions_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  void note_ack() { ++acks_; }
+  std::uint64_t acks() const { return acks_; }
+
+  void reset() {
+    counters_ = {};
+    dropped_in_flight_ = 0;
+    retransmissions_ = 0;
+    acks_ = 0;
+  }
 
   std::string to_string() const;
 
  private:
   std::array<TrafficCounter, static_cast<std::size_t>(Traffic::kCount)>
       counters_{};
+  std::uint64_t dropped_in_flight_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t acks_ = 0;
 };
 
 }  // namespace qip

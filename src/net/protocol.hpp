@@ -69,6 +69,25 @@ class AutoconfProtocol {
   /// Invoked after each mobility tick (location-update logic hooks here).
   virtual void on_mobility_tick() {}
 
+  /// Partition-domain tag for the uniqueness auditor: at every instant, two
+  /// nodes sharing a connected component AND this tag must hold distinct
+  /// addresses.  The default (one domain per run) suits protocols without
+  /// merge-pending semantics; QIP overrides with its network id, because two
+  /// healed-but-not-yet-merged networks legitimately hold conflicting
+  /// addresses until the merge procedure resolves them (§V-C).
+  virtual std::uint64_t audit_domain(NodeId) const { return 0; }
+
+  /// Whether the uniqueness auditor should enforce duplicate-freedom for
+  /// this protocol.  True for allocation schemes that promise unique
+  /// addresses at every instant (QIP, buddy, C-tree, strong DAD).  False
+  /// for detection/tolerance schemes whose *design* admits duplicates —
+  /// WeakDAD routes around them, PDAD flags them after the fact, Boleng
+  /// resolves them at the beacon census — and for MANETconf, whose modeled
+  /// concurrent-initiator race can assign one candidate twice (the paper's
+  /// initiator mutual exclusion is not simulated).  Opted-out protocols
+  /// still get the auditor's leak checks.
+  virtual bool audit_uniqueness() const { return true; }
+
   bool configured(NodeId id) const {
     auto it = records_.find(id);
     return it != records_.end() && it->second.success;

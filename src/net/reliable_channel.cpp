@@ -1,0 +1,121 @@
+#include "net/reliable_channel.hpp"
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+ReliableChannel::ReliableChannel(Transport& transport, ReliableParams params)
+    : transport_(transport), params_(params) {
+  QIP_ASSERT(params_.retry_timeout > 0.0);
+  QIP_ASSERT(params_.backoff >= 1.0);
+}
+
+ReliableChannel::~ReliableChannel() {
+  for (auto& [seq, p] : pending_) p.timer.cancel();
+}
+
+std::optional<std::uint32_t> ReliableChannel::send(
+    NodeId from, NodeId to, Traffic traffic, Receiver on_deliver,
+    std::function<void()> on_give_up) {
+  if (!active()) {
+    // Paper model (or force-disabled): a plain metered unicast, no acks, no
+    // sequence numbers, no state — byte-identical to the seed behavior.
+    return transport_.unicast(from, to, traffic, std::move(on_deliver));
+  }
+
+  const std::uint64_t seq = next_seq_++;
+  Pending p;
+  p.from = from;
+  p.to = to;
+  p.traffic = traffic;
+  p.on_deliver = std::move(on_deliver);
+  p.on_give_up = std::move(on_give_up);
+  p.timeout = params_.retry_timeout;
+  auto [it, fresh] = pending_.emplace(seq, std::move(p));
+  QIP_ASSERT(fresh);
+
+  // First attempt: a synchronous routing failure is reported to the caller
+  // exactly like a raw unicast (and nothing is retried) so the protocol's
+  // own unreachable-destination fallbacks keep working unchanged.
+  auto& entry = it->second;
+  entry.tries = 1;
+  const auto hops = transport_.unicast(
+      from, to, traffic,
+      [this, seq](NodeId, std::uint32_t h) { on_data(seq, h); });
+  if (!hops) {
+    pending_.erase(it);
+    return std::nullopt;
+  }
+  arm_timer(seq);
+  return hops;
+}
+
+void ReliableChannel::arm_timer(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  QIP_ASSERT(it != pending_.end());
+  auto& p = it->second;
+  p.timer = transport_.sim().after(p.timeout, [this, seq] {
+    auto pit = pending_.find(seq);
+    if (pit == pending_.end()) return;  // acked meanwhile
+    if (pit->second.tries > params_.max_retries) {
+      ++gave_up_;
+      auto fail = std::move(pit->second.on_give_up);
+      pending_.erase(pit);
+      if (fail) fail();
+      return;
+    }
+    attempt(seq);
+  });
+}
+
+void ReliableChannel::attempt(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  QIP_ASSERT(it != pending_.end());
+  auto& p = it->second;
+  ++p.tries;
+  p.timeout *= params_.backoff;
+  ++retransmissions_;
+  transport_.stats().note_retransmission();
+  // A retransmission that fails to route (destination unreachable right
+  // now) still burns a retry and re-arms: the outage may be transient, and
+  // the retry cap bounds the wait either way.
+  transport_.unicast(p.from, p.to, p.traffic,
+                     [this, seq](NodeId, std::uint32_t h) { on_data(seq, h); });
+  arm_timer(seq);
+}
+
+void ReliableChannel::on_data(std::uint64_t seq, std::uint32_t hops) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) {
+    // The sender already gave up (or was acked and this is a duplicate copy
+    // of a retransmission): late data is dropped, mirroring an aborted RPC.
+    if (delivered_.count(seq)) ++duplicates_suppressed_;
+    return;
+  }
+  // Copy out before any callback: delivering can re-enter send() and rehash
+  // pending_, invalidating the iterator.
+  const NodeId from = it->second.from;
+  const NodeId to = it->second.to;
+  const Traffic traffic = it->second.traffic;
+  const Receiver deliver = it->second.on_deliver;
+  // Ack every copy (the previous ack may have been the loss), then deliver
+  // to the application at most once.
+  transport_.stats().note_ack();
+  transport_.unicast(to, from, traffic,
+                     [this, seq](NodeId, std::uint32_t) { on_ack(seq); });
+  if (delivered_.insert(seq).second) {
+    deliver(to, hops);
+  } else {
+    ++duplicates_suppressed_;
+  }
+}
+
+void ReliableChannel::on_ack(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // duplicate ack
+  ++acks_received_;
+  it->second.timer.cancel();
+  pending_.erase(it);
+}
+
+}  // namespace qip

@@ -13,43 +13,73 @@ Transport::Transport(Simulator& sim, Topology& topology, MessageStats& stats,
   QIP_ASSERT(per_hop_delay >= 0.0);
 }
 
-void Transport::deliver_later(NodeId to, std::uint32_t hops,
-                              Receiver on_deliver) {
-  QIP_ASSERT(on_deliver != nullptr);
-  sim_.after(static_cast<SimTime>(hops) * per_hop_delay_,
+bool Transport::can_transmit(NodeId id) const {
+  if (!topology_.has_node(id)) return false;
+  if (faults_active() && !faults_->node_up(id, sim_.now())) {
+    faults_->note_blocked_send();
+    return false;
+  }
+  return true;
+}
+
+void Transport::schedule_delivery(NodeId to, std::uint32_t hops, SimTime extra,
+                                  Receiver on_deliver) {
+  sim_.after(static_cast<SimTime>(hops) * per_hop_delay_ + extra,
              [this, to, hops, fn = std::move(on_deliver)]() {
                // The destination may have departed while the message was in
                // flight; a vanished radio hears nothing.
-               if (topology_.has_node(to)) fn(to, hops);
+               if (!topology_.has_node(to)) {
+                 stats_.note_dropped_in_flight();
+                 return;
+               }
+               // Likewise a radio that crashed after the send instant.
+               if (faults_active() && !faults_->node_up(to, sim_.now())) {
+                 faults_->note_blackout();
+                 return;
+               }
+               fn(to, hops);
              });
+}
+
+void Transport::deliver_later(NodeId from, NodeId to, std::uint32_t hops,
+                              Receiver on_deliver) {
+  QIP_ASSERT(on_deliver != nullptr);
+  if (faults_active()) {
+    const auto fate = faults_->judge(from, to, sim_.now());
+    for (std::uint32_t c = 0; c < fate.copies; ++c) {
+      schedule_delivery(to, hops, fate.extra[c], on_deliver);
+    }
+    return;
+  }
+  schedule_delivery(to, hops, 0.0, std::move(on_deliver));
 }
 
 std::optional<std::uint32_t> Transport::unicast(NodeId from, NodeId to,
                                                 Traffic t,
                                                 Receiver on_deliver) {
   // A sender that already left the field cannot transmit (protocol timers
-  // can fire in the same instant a node departs).
-  if (!topology_.has_node(from) || !topology_.has_node(to))
-    return std::nullopt;
+  // can fire in the same instant a node departs); a crashed radio is the
+  // same, except the transmission attempt is tallied by the injector.
+  if (!can_transmit(from) || !topology_.has_node(to)) return std::nullopt;
   const auto hops = topology_.hop_distance(from, to);
   if (!hops) return std::nullopt;
   stats_.record(t, *hops);
-  deliver_later(to, *hops, std::move(on_deliver));
+  deliver_later(from, to, *hops, std::move(on_deliver));
   return hops;
 }
 
 std::vector<NodeId> Transport::local_broadcast(NodeId from, Traffic t,
                                                Receiver on_deliver) {
-  if (!topology_.has_node(from)) return {};
+  if (!can_transmit(from)) return {};
   auto heard = topology_.neighbors(from);
   stats_.record(t, 1);  // one transmission regardless of audience size
-  for (NodeId n : heard) deliver_later(n, 1, on_deliver);
+  for (NodeId n : heard) deliver_later(from, n, 1, on_deliver);
   return heard;
 }
 
 std::vector<NodeId> Transport::flood(NodeId from, std::uint32_t radius,
                                      Traffic t, Receiver on_deliver) {
-  if (!topology_.has_node(from)) return {};
+  if (!can_transmit(from)) return {};
   QIP_ASSERT(radius >= 1);
   auto in_range = topology_.k_hop_neighbors(from, radius);
   // Transmissions: the sender plus every node that relays (distance < radius).
@@ -61,14 +91,14 @@ std::vector<NodeId> Transport::flood(NodeId from, std::uint32_t radius,
   reached.reserve(in_range.size());
   for (const auto& [node, d] : in_range) {
     reached.push_back(node);
-    deliver_later(node, d, on_deliver);
+    deliver_later(from, node, d, on_deliver);
   }
   return reached;
 }
 
 std::vector<NodeId> Transport::flood_component(NodeId from, Traffic t,
                                                Receiver on_deliver) {
-  if (!topology_.has_node(from)) return {};
+  if (!can_transmit(from)) return {};
   const std::uint32_t ecc = topology_.eccentricity(from);
   if (ecc == 0) {
     // Isolated sender: one futile transmission.

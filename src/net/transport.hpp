@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
 #include "net/metrics.hpp"
 #include "net/node_id.hpp"
 #include "net/topology.hpp"
@@ -27,6 +28,14 @@
 
 namespace qip {
 
+// Fault model (docs/FAULTS.md): when a FaultInjector with an active plan is
+// attached, transmissions by a crashed radio are suppressed (unicast reports
+// the destination unreachable, broadcasts reach nobody) and every scheduled
+// delivery is independently judged — dropped, delayed, or duplicated.
+// Transmission costs are still charged at send time: a lost message was
+// transmitted, so its hops stay in MessageStats, matching how a real trace
+// would meter it.  With no injector (or a null plan) every path below is
+// bit-identical to the paper's reliable model.
 class Transport {
  public:
   /// Called at the receiver; `hops` is the distance the message travelled.
@@ -42,6 +51,13 @@ class Transport {
   const Simulator& sim() const { return sim_; }
   Topology& topology() { return topology_; }
   const Topology& topology() const { return topology_; }
+
+  /// Attaches (or detaches, with nullptr) a fault injector.  Not owned.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+  FaultInjector* faults() { return faults_; }
+  const FaultInjector* faults() const { return faults_; }
+  /// True when an injector with a non-null plan is attached.
+  bool faults_active() const { return faults_ && faults_->active(); }
 
   /// Sends along the current shortest path.  Returns the hop count, or
   /// nullopt when `to` is unreachable (nothing is charged or scheduled).
@@ -70,13 +86,29 @@ class Transport {
     return topology_.hop_distance(a, b);
   }
 
+  /// Pure query: is `id`'s radio outside every crash window right now?
+  /// Unlike can_transmit() this tallies nothing, so protocols may poll it
+  /// (e.g. to park an entry flow while the radio is down) without skewing
+  /// the injector's blocked-send statistics.
+  bool radio_up(NodeId id) const {
+    return !faults_active() || faults_->node_up(id, sim_.now());
+  }
+
  private:
-  void deliver_later(NodeId to, std::uint32_t hops, Receiver on_deliver);
+  /// True when `id` can transmit right now (in the topology and, under an
+  /// active fault plan, outside its crash windows).
+  bool can_transmit(NodeId id) const;
+
+  void deliver_later(NodeId from, NodeId to, std::uint32_t hops,
+                     Receiver on_deliver);
+  void schedule_delivery(NodeId to, std::uint32_t hops, SimTime extra,
+                         Receiver on_deliver);
 
   Simulator& sim_;
   Topology& topology_;
   MessageStats& stats_;
   SimTime per_hop_delay_;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace qip

@@ -6,10 +6,12 @@ EventHandle EventQueue::schedule(SimTime at, std::function<void()> fn) {
   QIP_ASSERT(fn != nullptr);
   auto flag = std::make_shared<bool>(false);
   heap_.push(Entry{at, next_seq_++, std::move(fn), flag});
-  return EventHandle(std::move(flag));
+  ++*live_;
+  return EventHandle(std::move(flag), live_);
 }
 
 void EventQueue::skim() const {
+  // Cancelled entries already left the live count when cancel() ran.
   while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
 }
 
@@ -32,12 +34,19 @@ EventQueue::Fired EventQueue::pop() {
   auto& top = const_cast<Entry&>(heap_.top());
   Fired fired{top.time, std::move(top.fn)};
   *top.cancelled = true;  // stale handles now report !pending()
+  --*live_;
   heap_.pop();
   return fired;
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  // Tombstone everything so outstanding handles see !pending() and a late
+  // cancel() cannot double-decrement the (reset) live count.
+  while (!heap_.empty()) {
+    *heap_.top().cancelled = true;
+    heap_.pop();
+  }
+  *live_ = 0;
 }
 
 }  // namespace qip

@@ -29,15 +29,21 @@ class EventHandle {
   /// True if the event is still scheduled (not fired, not cancelled).
   bool pending() const { return flag_ && !*flag_; }
 
-  /// Marks the event dead; the queue drops it lazily.
+  /// Marks the event dead; the queue drops it lazily (but the live-event
+  /// count is maintained eagerly, so live_size() stays exact).
   void cancel() {
-    if (flag_) *flag_ = true;
+    if (flag_ && !*flag_) {
+      *flag_ = true;
+      if (live_) --*live_;
+    }
   }
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> flag) : flag_(std::move(flag)) {}
+  EventHandle(std::shared_ptr<bool> flag, std::shared_ptr<std::size_t> live)
+      : flag_(std::move(flag)), live_(std::move(live)) {}
   std::shared_ptr<bool> flag_;
+  std::shared_ptr<std::size_t> live_;
 };
 
 class EventQueue {
@@ -51,6 +57,11 @@ class EventQueue {
   /// Upper bound on live events (cancelled entries buried in the heap are
   /// counted until they surface).
   std::size_t size() const { return heap_.size(); }
+
+  /// Exact number of live (scheduled, uncancelled, unfired) events.  The
+  /// count is maintained on schedule/cancel/pop, so — unlike size() — it
+  /// never includes tombstoned entries still buried in the heap.
+  std::size_t live_size() const { return *live_; }
 
   /// Time of the earliest live event; queue must be non-empty.
   SimTime next_time() const;
@@ -84,6 +95,9 @@ class EventQueue {
 
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+  /// Shared with every handle so cancellation can decrement it even while
+  /// the tombstoned entry is still buried in the heap.
+  std::shared_ptr<std::size_t> live_ = std::make_shared<std::size_t>(0);
 };
 
 }  // namespace qip

@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 namespace qip {
 
 bool Simulator::step() {
@@ -9,6 +11,7 @@ bool Simulator::step() {
   now_ = fired.time;
   ++executed_;
   fired.fn();
+  if (!probes_.empty()) run_probes();
   return true;
 }
 
@@ -27,6 +30,32 @@ std::uint64_t Simulator::run(SimTime horizon) {
     now_ = horizon;
   }
   return count;
+}
+
+std::uint64_t Simulator::add_probe(SimTime period, std::function<void()> fn) {
+  QIP_ASSERT(period > 0.0);
+  QIP_ASSERT(fn != nullptr);
+  const std::uint64_t token = next_probe_token_++;
+  probes_.push_back(Probe{token, period, now_ + period, std::move(fn)});
+  return token;
+}
+
+void Simulator::remove_probe(std::uint64_t token) {
+  probes_.erase(std::remove_if(probes_.begin(), probes_.end(),
+                               [token](const Probe& p) {
+                                 return p.token == token;
+                               }),
+                probes_.end());
+}
+
+void Simulator::run_probes() {
+  // Index loop: a probe that (illegally) registers another probe must not
+  // invalidate iteration; removal mid-fire is tolerated by the size check.
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    if (now_ < probes_[i].next) continue;
+    probes_[i].fn();
+    if (i < probes_.size()) probes_[i].next = now_ + probes_[i].period;
+  }
 }
 
 }  // namespace qip

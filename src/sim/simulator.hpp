@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 
@@ -18,7 +19,10 @@ class Simulator {
   SimTime now() const { return now_; }
   std::uint64_t events_executed() const { return executed_; }
   bool idle() const { return queue_.empty(); }
+  /// Upper bound: includes cancelled entries still buried in the heap.
   std::size_t pending_events() const { return queue_.size(); }
+  /// Exact count of live scheduled events (see EventQueue::live_size).
+  std::size_t live_events() const { return queue_.live_size(); }
 
   /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
   EventHandle after(SimTime delay, std::function<void()> fn) {
@@ -50,11 +54,31 @@ class Simulator {
     stopping_ = false;
   }
 
+  /// Registers a read-only observer invoked after an executed event at most
+  /// once per `period` of simulated time.  Probes are NOT events: they never
+  /// occupy the queue, so a drain loop (World::settle) terminates exactly as
+  /// it would without them — which is what lets an auditor run always-on.
+  /// Probes must not schedule events or mutate simulation state.
+  /// Returns a token for remove_probe().
+  std::uint64_t add_probe(SimTime period, std::function<void()> probe);
+  void remove_probe(std::uint64_t token);
+
  private:
+  struct Probe {
+    std::uint64_t token;
+    SimTime period;
+    SimTime next;
+    std::function<void()> fn;
+  };
+
+  void run_probes();
+
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t executed_ = 0;
   bool stopping_ = false;
+  std::vector<Probe> probes_;
+  std::uint64_t next_probe_token_ = 1;
 };
 
 }  // namespace qip

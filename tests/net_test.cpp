@@ -125,13 +125,16 @@ TEST_F(TransportFixture, UnicastUnreachableChargesNothing) {
 
 TEST_F(TransportFixture, DeliverySkippedIfReceiverDeparted) {
   bool delivered = false;
+  EXPECT_EQ(stats.dropped_in_flight(), 0u);
   transport.unicast(0, 2, Traffic::kConfiguration,
                     [&](NodeId, std::uint32_t) { delivered = true; });
   topo.remove_node(2);
   sim.run();
   EXPECT_FALSE(delivered);
-  // The hops were still charged — the radio transmitted.
+  // The hops were still charged — the radio transmitted — and the silent
+  // loss is tallied instead of vanishing.
   EXPECT_EQ(stats.of(Traffic::kConfiguration).hops, 2u);
+  EXPECT_EQ(stats.dropped_in_flight(), 1u);
 }
 
 TEST_F(TransportFixture, LocalBroadcastReachesNeighborsOnly) {

@@ -66,6 +66,33 @@ TEST(EventQueue, DefaultHandleInert) {
   h.cancel();  // no-op
 }
 
+TEST(EventQueue, LiveSizeExcludesTombstones) {
+  EventQueue q;
+  auto a = q.schedule(1.0, [] {});
+  auto b = q.schedule(2.0, [] {});
+  q.schedule(3.0, [] {});
+  EXPECT_EQ(q.live_size(), 3u);
+  a.cancel();
+  // The tombstone still occupies a heap slot; live_size sees through it.
+  EXPECT_EQ(q.live_size(), 2u);
+  EXPECT_EQ(q.size(), 3u);
+  b.cancel();
+  EXPECT_EQ(q.live_size(), 1u);
+  q.pop().fn();  // pops the sole live event (skipping tombstones)
+  EXPECT_EQ(q.live_size(), 0u);
+}
+
+TEST(EventQueue, LiveSizeTracksPopsExactly) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(1.0 + i, [] {});
+  for (std::size_t expect = 5; expect > 0; --expect) {
+    EXPECT_EQ(q.live_size(), expect);
+    q.pop().fn();
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.live_size(), 0u);
+}
+
 TEST(EventQueue, NextTimeSkipsCancelled) {
   EventQueue q;
   auto a = q.schedule(1.0, [] {});

@@ -23,6 +23,7 @@
 #include "baselines/weak_dad.hpp"
 #include "core/qip_engine.hpp"
 #include "harness/driver.hpp"
+#include "harness/seed.hpp"
 #include "harness/world.hpp"
 #include "util/csv.hpp"
 
@@ -58,6 +59,9 @@ struct Options {
 
 Options parse(int argc, char** argv) {
   Options opt;
+  // Seed override order: --seed beats QIP_SEED beats the default.  The
+  // banner (or --quiet runs' CSV consumers) sees the effective value.
+  opt.seed = resolve_seed(opt.seed, argc, argv, /*announce=*/false);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
