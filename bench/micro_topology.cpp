@@ -1,5 +1,11 @@
 // Microbenchmarks for the unit-disk topology: neighbor queries and BFS
 // routing dominate simulation time.
+//
+// The *Uncached variants pin the raw substrate (grid query + sort per
+// visited node); the *Cached variants run the epoch-versioned TopologyCache
+// under the simulator's real access pattern — one node moves, then the
+// graph is queried — so the pair measures exactly what the cache buys on
+// the hot path (components for the auditor, BFS for routing/floods).
 #include <benchmark/benchmark.h>
 
 #include "net/topology.hpp"
@@ -9,8 +15,10 @@ using namespace qip;
 
 namespace {
 
-Topology make_topology(std::uint32_t n, double range, Rng& rng) {
+Topology make_topology(std::uint32_t n, double range, Rng& rng,
+                       bool cached) {
   Topology topo(Rect{1000.0, 1000.0}, range);
+  topo.set_cache_enabled(cached);
   for (std::uint32_t i = 0; i < n; ++i)
     topo.add_node(i, topo.area().sample(rng));
   return topo;
@@ -21,7 +29,7 @@ Topology make_topology(std::uint32_t n, double range, Rng& rng) {
 static void BM_Neighbors(benchmark::State& state) {
   Rng rng(5);
   const auto n = static_cast<std::uint32_t>(state.range(0));
-  Topology topo = make_topology(n, 150.0, rng);
+  Topology topo = make_topology(n, 150.0, rng, /*cached=*/false);
   std::uint32_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(topo.neighbors(i++ % n));
@@ -32,7 +40,7 @@ BENCHMARK(BM_Neighbors)->Arg(100)->Arg(200)->Arg(400);
 static void BM_HopDistance(benchmark::State& state) {
   Rng rng(6);
   const auto n = static_cast<std::uint32_t>(state.range(0));
-  Topology topo = make_topology(n, 150.0, rng);
+  Topology topo = make_topology(n, 150.0, rng, /*cached=*/false);
   std::uint32_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(topo.hop_distance(i % n, (i * 7 + 3) % n));
@@ -44,7 +52,7 @@ BENCHMARK(BM_HopDistance)->Arg(100)->Arg(200);
 static void BM_Components(benchmark::State& state) {
   Rng rng(7);
   const auto n = static_cast<std::uint32_t>(state.range(0));
-  Topology topo = make_topology(n, 120.0, rng);
+  Topology topo = make_topology(n, 120.0, rng, /*cached=*/false);
   for (auto _ : state) {
     benchmark::DoNotOptimize(topo.components());
   }
@@ -53,7 +61,7 @@ BENCHMARK(BM_Components)->Arg(200);
 
 static void BM_KHopNeighbors(benchmark::State& state) {
   Rng rng(8);
-  Topology topo = make_topology(200, 150.0, rng);
+  Topology topo = make_topology(200, 150.0, rng, /*cached=*/false);
   std::uint32_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -62,5 +70,70 @@ static void BM_KHopNeighbors(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KHopNeighbors)->Arg(2)->Arg(3);
+
+// ---------------------------------------------------------------------------
+// Cached vs. uncached under churn: one random-waypoint style move per
+// iteration, then the query — the UniquenessAuditor / mobility-tick pattern.
+// arg0 = node count, arg1 = cache on/off.
+// ---------------------------------------------------------------------------
+
+static void BM_ComponentsChurn(benchmark::State& state) {
+  Rng rng(7);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Topology topo = make_topology(n, 120.0, rng, state.range(1) != 0);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    topo.move_node(i++ % n, topo.area().sample(rng));
+    benchmark::DoNotOptimize(topo.components_view());
+  }
+}
+BENCHMARK(BM_ComponentsChurn)
+    ->Args({200, 0})
+    ->Args({200, 1})
+    ->Args({400, 0})
+    ->Args({400, 1});
+
+static void BM_BfsSweepChurn(benchmark::State& state) {
+  // Full-source BFS (hop_distances_from) after a move: the nearest-server
+  // scan every baseline runs on arrival.
+  Rng rng(6);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Topology topo = make_topology(n, 150.0, rng, state.range(1) != 0);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    topo.move_node(i % n, topo.area().sample(rng));
+    std::uint64_t sum = 0;
+    topo.for_each_reachable((i * 13 + 1) % n,
+                            [&](NodeId, std::uint32_t d) { sum += d; });
+    benchmark::DoNotOptimize(sum);
+    ++i;
+  }
+}
+BENCHMARK(BM_BfsSweepChurn)->Args({200, 0})->Args({200, 1});
+
+static void BM_KHopChurn(benchmark::State& state) {
+  // 3-hop neighborhood (QIP's QDSet discovery radius) after a move.
+  Rng rng(8);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Topology topo = make_topology(n, 150.0, rng, state.range(1) != 0);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    topo.move_node(i % n, topo.area().sample(rng));
+    benchmark::DoNotOptimize(topo.k_hop_view((i * 7 + 3) % n, 3));
+    ++i;
+  }
+}
+BENCHMARK(BM_KHopChurn)->Args({200, 0})->Args({200, 1});
+
+static void BM_AuditProbeSteadyState(benchmark::State& state) {
+  // The auditor's favourable case: probes fire between movement steps, so
+  // the epoch is unchanged and the partition is served from cache.
+  Rng rng(7);
+  Topology topo = make_topology(200, 120.0, rng, state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.components_view());
+  }
+}
+BENCHMARK(BM_AuditProbeSteadyState)->Arg(0)->Arg(1);
 
 BENCHMARK_MAIN();

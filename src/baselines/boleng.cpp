@@ -71,7 +71,7 @@ void BolengProtocol::node_entered(NodeId id) {
     current_max = node(informant).max_seen;
     // The parameters ride on every packet, so the whole one-hop
     // neighborhood is heard essentially for free; take the freshest view.
-    for (NodeId nb : topology().neighbors(id)) {
+    for (NodeId nb : topology().neighbors_view(id)) {
       if (!alive(nb)) continue;
       const auto& ns = node(nb);
       if (ns.configured && ns.max_seen > current_max)

@@ -33,17 +33,18 @@ const AddressBlock& BuddyProtocol::block_of(NodeId id) const {
 }
 
 std::optional<NodeId> BuddyProtocol::nearest_configured(NodeId id) const {
-  auto dist = topology().hop_distances_from(id);
+  // Fold over the cached BFS instead of materializing a distance map; the
+  // minimum over (hops, node) pairs is order-independent.
   std::optional<std::pair<std::uint32_t, NodeId>> best;
-  for (const auto& [n, st] : nodes_) {
-    if (!st.configured || n == id) continue;
+  topology().for_each_reachable(id, [&](NodeId n, std::uint32_t d) {
+    if (n == id) return;
+    auto it = nodes_.find(n);
+    if (it == nodes_.end() || !it->second.configured) return;
     // Prefer allocators that can still split (≥ 2 spare addresses).
-    if (st.block.size() < 2) continue;
-    auto it = dist.find(n);
-    if (it == dist.end()) continue;
-    const std::pair<std::uint32_t, NodeId> cand{it->second, n};
+    if (it->second.block.size() < 2) return;
+    const std::pair<std::uint32_t, NodeId> cand{d, n};
     if (!best || cand < *best) best = cand;
-  }
+  });
   if (!best) return std::nullopt;
   return best->second;
 }

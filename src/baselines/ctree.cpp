@@ -60,7 +60,7 @@ double CTreeProtocol::average_visible_space() const {
 std::optional<NodeId> CTreeProtocol::coordinator_within(
     NodeId id, std::uint32_t k) const {
   std::optional<std::pair<std::uint32_t, NodeId>> best;
-  for (const auto& [n, d] : topology().k_hop_neighbors(id, k)) {
+  for (const auto& [n, d] : topology().k_hop_view(id, k)) {
     auto it = nodes_.find(n);
     if (it == nodes_.end() || !it->second.coordinator) continue;
     if (it->second.coord.pool.empty()) continue;
@@ -72,15 +72,16 @@ std::optional<NodeId> CTreeProtocol::coordinator_within(
 }
 
 std::optional<NodeId> CTreeProtocol::nearest_coordinator(NodeId id) const {
-  auto dist = topology().hop_distances_from(id);
+  // Fold over the cached BFS instead of materializing a distance map; the
+  // minimum over (hops, node) pairs is order-independent.
   std::optional<std::pair<std::uint32_t, NodeId>> best;
-  for (const auto& [n, st] : nodes_) {
-    if (!st.coordinator || n == id) continue;
-    auto it = dist.find(n);
-    if (it == dist.end()) continue;
-    const std::pair<std::uint32_t, NodeId> cand{it->second, n};
+  topology().for_each_reachable(id, [&](NodeId n, std::uint32_t d) {
+    if (n == id) return;
+    auto it = nodes_.find(n);
+    if (it == nodes_.end() || !it->second.coordinator) return;
+    const std::pair<std::uint32_t, NodeId> cand{d, n};
     if (!best || cand < *best) best = cand;
-  }
+  });
   if (!best) return std::nullopt;
   return best->second;
 }

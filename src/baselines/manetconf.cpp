@@ -32,15 +32,16 @@ std::size_t ManetConf::table_size(NodeId id) const {
 }
 
 std::optional<NodeId> ManetConf::nearest_configured(NodeId id) const {
-  auto dist = topology().hop_distances_from(id);
+  // Fold over the cached BFS instead of materializing a distance map; the
+  // minimum over (hops, node) pairs is order-independent.
   std::optional<std::pair<std::uint32_t, NodeId>> best;
-  for (const auto& [n, st] : nodes_) {
-    if (!st.configured || n == id) continue;
-    auto it = dist.find(n);
-    if (it == dist.end()) continue;
-    const std::pair<std::uint32_t, NodeId> cand{it->second, n};
+  topology().for_each_reachable(id, [&](NodeId n, std::uint32_t d) {
+    if (n == id) return;
+    auto it = nodes_.find(n);
+    if (it == nodes_.end() || !it->second.configured) return;
+    const std::pair<std::uint32_t, NodeId> cand{d, n};
     if (!best || cand < *best) best = cand;
-  }
+  });
   if (!best) return std::nullopt;
   return best->second;
 }

@@ -104,7 +104,7 @@ std::vector<NodeId> ClusterView::heads() const {
 
 std::vector<NodeId> ClusterView::heads_within(NodeId id, std::uint32_t k) const {
   std::vector<std::pair<std::uint32_t, NodeId>> found;
-  for (const auto& [node, dist] : topology_->k_hop_neighbors(id, k)) {
+  for (const auto& [node, dist] : topology_->k_hop_view(id, k)) {
     if (heads_.count(node)) found.emplace_back(dist, node);
   }
   std::sort(found.begin(), found.end());
@@ -115,15 +115,15 @@ std::vector<NodeId> ClusterView::heads_within(NodeId id, std::uint32_t k) const 
 }
 
 std::optional<NodeId> ClusterView::nearest_head(NodeId id) const {
-  auto dist = topology_->hop_distances_from(id);
+  // Fold over the cached BFS instead of materializing a distance map; the
+  // minimum over (hops, head) pairs is order-independent, so the answer is
+  // unchanged.
   std::optional<std::pair<std::uint32_t, NodeId>> best;
-  for (NodeId head : heads_) {
-    if (head == id) continue;
-    auto it = dist.find(head);
-    if (it == dist.end()) continue;
-    const std::pair<std::uint32_t, NodeId> cand{it->second, head};
+  topology_->for_each_reachable(id, [&](NodeId n, std::uint32_t d) {
+    if (n == id || !heads_.count(n)) return;
+    const std::pair<std::uint32_t, NodeId> cand{d, n};
     if (!best || cand < *best) best = cand;
-  }
+  });
   if (!best) return std::nullopt;
   return best->second;
 }
@@ -131,7 +131,7 @@ std::optional<NodeId> ClusterView::nearest_head(NodeId id) const {
 bool ClusterView::heads_nonadjacent() const {
   for (NodeId head : heads_) {
     if (!topology_->has_node(head)) continue;
-    for (NodeId n : topology_->neighbors(head)) {
+    for (NodeId n : topology_->neighbors_view(head)) {
       if (heads_.count(n)) return false;
     }
   }

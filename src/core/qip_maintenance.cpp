@@ -67,7 +67,7 @@ void QipEngine::refresh_network_ids() {
   // lost its lowest node adopts a higher id, which is exactly what lets a
   // later heal be detected as a merge.  The refresh runs after merge_scan
   // so a freshly healed boundary is detected before ids unify.
-  for (const auto& component : topology().components()) {
+  for (const auto& component : topology().components_view()) {
     // Epoch nonces separate pools born independently; each epoch group in
     // the component tracks its own minimum.
     std::map<std::uint64_t, IpAddress> lows;

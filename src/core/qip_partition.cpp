@@ -20,7 +20,7 @@ void QipEngine::merge_scan() {
   // address blocks are fragments of the same space and must not evaporate.
   for (const auto& [id, st] : nodes_) {
     if (st.role == Role::kUnconfigured || !topology().has_node(id)) continue;
-    for (NodeId nb : topology().neighbors(id)) {
+    for (NodeId nb : topology().neighbors_view(id)) {
       if (!alive(nb)) continue;
       const auto& other = node(nb);
       if (other.role == Role::kUnconfigured) continue;
@@ -77,7 +77,7 @@ void QipEngine::heal_partition(NodeId detector) {
                               [](NodeId, std::uint32_t) {});
   trace(QipMsg::kMergePoll, detector, kNoNode, 0, "partition heal");
 
-  const auto component = topology().component_of(detector);
+  const auto& component = topology().component_view(detector);
   std::vector<NodeId> heads;
   for (NodeId id : component) {
     if (is_head(id)) heads.push_back(id);
@@ -205,7 +205,7 @@ void QipEngine::absorb_network(NodeId detector, NetworkId winner_id,
   // will be detected at their own boundary when they come back.
   std::set<NodeId> reachable;
   if (topology().has_node(detector)) {
-    const auto comp = topology().component_of(detector);
+    const auto& comp = topology().component_view(detector);
     reachable.insert(comp.begin(), comp.end());
   }
   std::vector<NodeId> losers;

@@ -4,11 +4,22 @@
 
 namespace qip {
 
+namespace {
+
+template <typename Bucket>
+auto slot_for(Bucket& bucket, std::uint32_t id) {
+  return std::find_if(bucket.begin(), bucket.end(),
+                      [id](const auto& s) { return s.id == id; });
+}
+
+}  // namespace
+
 void GridIndex::insert(std::uint32_t id, const Point& p) {
   QIP_ASSERT_MSG(!contains(id), "id " << id << " already indexed");
   const CellKey key = key_for(p);
-  cells_[key].push_back(id);
+  cells_[key].push_back({id, p});
   where_.emplace(id, Entry{p, key});
+  touch(key);
 }
 
 void GridIndex::remove(std::uint32_t id) {
@@ -17,8 +28,9 @@ void GridIndex::remove(std::uint32_t id) {
   auto cell_it = cells_.find(it->second.cell);
   QIP_ASSERT(cell_it != cells_.end());
   auto& bucket = cell_it->second;
-  bucket.erase(std::find(bucket.begin(), bucket.end(), id));
+  bucket.erase(slot_for(bucket, id));
   if (bucket.empty()) cells_.erase(cell_it);
+  touch(it->second.cell);
   where_.erase(it);
 }
 
@@ -26,13 +38,20 @@ void GridIndex::move(std::uint32_t id, const Point& p) {
   auto it = where_.find(id);
   QIP_ASSERT_MSG(it != where_.end(), "id " << id << " not indexed");
   const CellKey new_key = key_for(p);
-  if (!(new_key == it->second.cell)) {
+  if (new_key == it->second.cell) {
+    slot_for(cells_[new_key], id)->pos = p;
+  } else {
     auto& old_bucket = cells_[it->second.cell];
-    old_bucket.erase(std::find(old_bucket.begin(), old_bucket.end(), id));
+    old_bucket.erase(slot_for(old_bucket, id));
     if (old_bucket.empty()) cells_.erase(it->second.cell);
-    cells_[new_key].push_back(id);
+    cells_[new_key].push_back({id, p});
+    touch(it->second.cell);
     it->second.cell = new_key;
   }
+  // A same-cell move still changes the position, so the cell is stale either
+  // way; touching it last stamps both cells with distinct epochs on a
+  // cross-cell move.
+  touch(new_key);
   it->second.pos = p;
 }
 
@@ -42,10 +61,49 @@ const Point& GridIndex::position(std::uint32_t id) const {
   return it->second.pos;
 }
 
+void GridIndex::touch(const CellKey& key) {
+  ++epoch_;
+  cell_version_[key] = epoch_;
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      window_version_[{key.cx + dx, key.cy + dy}] = epoch_;
+    }
+  }
+}
+
+std::uint64_t GridIndex::window_version(const Point& center,
+                                        double radius) const {
+  QIP_ASSERT(radius > 0.0);
+  if (radius <= cell_) {
+    // A disk of radius <= cell centered anywhere in a cell stays inside the
+    // cell's 3×3 neighborhood, whose version is maintained on write.
+    const auto it = window_version_.find(key_for(center));
+    return it == window_version_.end() ? 0 : it->second;
+  }
+  std::uint64_t version = 0;
+  const auto span = static_cast<std::int64_t>(std::ceil(radius / cell_));
+  const CellKey base = key_for(center);
+  for (std::int64_t dx = -span; dx <= span; ++dx) {
+    for (std::int64_t dy = -span; dy <= span; ++dy) {
+      auto it = cell_version_.find({base.cx + dx, base.cy + dy});
+      if (it != cell_version_.end()) version = std::max(version, it->second);
+    }
+  }
+  return version;
+}
+
 std::vector<std::uint32_t> GridIndex::query(const Point& center, double radius,
                                             std::int64_t exclude) const {
-  QIP_ASSERT(radius > 0.0);
   std::vector<std::uint32_t> out;
+  query_into(center, radius, exclude, out);
+  return out;
+}
+
+void GridIndex::query_into(const Point& center, double radius,
+                           std::int64_t exclude,
+                           std::vector<std::uint32_t>& out) const {
+  QIP_ASSERT(radius > 0.0);
+  out.clear();
   const double r_sq = radius * radius;
   // The query radius can exceed the cell size (rare but allowed); widen the
   // cell window accordingly.
@@ -55,13 +113,12 @@ std::vector<std::uint32_t> GridIndex::query(const Point& center, double radius,
     for (std::int64_t dy = -span; dy <= span; ++dy) {
       auto it = cells_.find({base.cx + dx, base.cy + dy});
       if (it == cells_.end()) continue;
-      for (std::uint32_t id : it->second) {
-        if (static_cast<std::int64_t>(id) == exclude) continue;
-        if (distance_sq(where_.at(id).pos, center) <= r_sq) out.push_back(id);
+      for (const Slot& s : it->second) {
+        if (static_cast<std::int64_t>(s.id) == exclude) continue;
+        if (distance_sq(s.pos, center) <= r_sq) out.push_back(s.id);
       }
     }
   }
-  return out;
 }
 
 }  // namespace qip

@@ -30,11 +30,28 @@ class GridIndex {
   const Point& position(std::uint32_t id) const;
   std::size_t size() const { return where_.size(); }
 
-  /// All ids strictly within `radius` of `center` (excluding `exclude` if
-  /// given).  Distance is inclusive: d <= radius, matching the unit-disk
-  /// connectivity model.
+  /// Monotone mutation counter: every insert/remove/move bumps it, so a
+  /// consumer can tell "nothing changed since I looked" with one compare.
+  /// Starts at 0; the first mutation makes it 1.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Greatest epoch at which any cell overlapping the disk (`center`,
+  /// `radius`) was mutated (0 if none ever was).  A cached neighborhood of
+  /// that disk computed at epoch E is still exact iff the returned value is
+  /// <= E: mutations elsewhere in the grid cannot affect it.
+  std::uint64_t window_version(const Point& center, double radius) const;
+
+  /// All ids within `radius` of `center` (excluding `exclude` if given).
+  /// Distance is inclusive — d <= radius counts, so two nodes exactly a
+  /// transmission range apart are connected, matching the unit-disk model.
   std::vector<std::uint32_t> query(const Point& center, double radius,
                                    std::int64_t exclude = -1) const;
+
+  /// Same query into a caller-owned buffer (cleared first), so repeated
+  /// callers — the topology cache refreshing adjacency rows — reuse one
+  /// allocation.
+  void query_into(const Point& center, double radius, std::int64_t exclude,
+                  std::vector<std::uint32_t>& out) const;
 
   /// Applies `fn(id, point)` to every entry (iteration order unspecified).
   template <typename Fn>
@@ -61,15 +78,34 @@ class GridIndex {
     Point pos;
     CellKey cell;
   };
+  /// Bucket slot: the position rides along with the id so a range query
+  /// never pays a hash lookup per candidate.
+  struct Slot {
+    std::uint32_t id;
+    Point pos;
+  };
 
   CellKey key_for(const Point& p) const {
     return {static_cast<std::int64_t>(std::floor(p.x / cell_)),
             static_cast<std::int64_t>(std::floor(p.y / cell_))};
   }
 
+  /// Stamps `key` (and the global counter) with a fresh mutation epoch.
+  void touch(const CellKey& key);
+
   double cell_;
-  std::unordered_map<CellKey, std::vector<std::uint32_t>, CellKeyHash> cells_;
+  std::unordered_map<CellKey, std::vector<Slot>, CellKeyHash> cells_;
   std::unordered_map<std::uint32_t, Entry> where_;
+  std::uint64_t epoch_ = 0;
+  /// Last mutation epoch per cell.  Entries persist after a cell empties —
+  /// an emptying *is* a mutation a cached reader must observe — so the map
+  /// is bounded by the number of cells ever occupied, not currently
+  /// occupied.
+  std::unordered_map<CellKey, std::uint64_t, CellKeyHash> cell_version_;
+  /// Last mutation epoch within each cell's 3×3 neighborhood, maintained on
+  /// write (9 stamps per mutation) so the common radius<=cell validity
+  /// probe is a single lookup instead of a 9-cell scan per cached row.
+  std::unordered_map<CellKey, std::uint64_t, CellKeyHash> window_version_;
 };
 
 }  // namespace qip

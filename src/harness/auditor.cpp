@@ -40,7 +40,9 @@ void UniquenessAuditor::check_now() {
   // still runs for them.
   if (proto_.audit_uniqueness()) {
     std::map<std::pair<std::uint64_t, IpAddress>, SimTime> live;
-    for (const auto& component : topology_.components()) {
+    // The components partition is epoch-cached: probes between movement
+    // steps reuse the same partition instead of re-running a full BFS sweep.
+    for (const auto& component : topology_.components_view()) {
       std::map<std::pair<std::uint64_t, IpAddress>, NodeId> seen;
       for (NodeId id : component) {
         const auto addr = proto_.address_of(id);

@@ -6,6 +6,15 @@
 // hop distances / shortest paths, and connected components (for partition
 // experiments).  Positions are indexed in a uniform grid so neighbor lookup
 // is O(1) expected.
+//
+// Graph queries are memoized in an epoch-versioned TopologyCache: mutations
+// bump the grid's epoch, derived state (adjacency rows, a flat CSR
+// snapshot, components, k-hop sets) is rebuilt lazily, and a move only
+// re-queries adjacency near the cells the mover left or entered.  Cached
+// and uncached paths return identical results — down to the emplace order
+// of the hop-distance map — so the cache is behavior-invariant; set
+// QIP_TOPO_CACHE=off (or call set_cache_enabled(false)) to bypass it when
+// bisecting (docs/SIMULATOR.md, "Topology cache").
 #pragma once
 
 #include <cstdint>
@@ -17,6 +26,8 @@
 #include "geom/grid_index.hpp"
 #include "geom/rect.hpp"
 #include "net/node_id.hpp"
+#include "net/topology_cache.hpp"
+#include "util/assert.hpp"
 
 namespace qip {
 
@@ -35,8 +46,23 @@ class Topology {
   std::size_t node_count() const { return index_.size(); }
   std::vector<NodeId> all_nodes() const;
 
-  /// One-hop neighbors of `id` (distance <= range, excluding `id`).
+  /// Mutation epoch of the underlying grid (bumped by every add/remove/
+  /// move).  Two equal epochs guarantee every query answer is unchanged.
+  std::uint64_t epoch() const { return index_.epoch(); }
+
+  /// Cache switch, default on (QIP_TOPO_CACHE=off or =0 in the environment
+  /// starts it off).  Toggling at any time is safe: validity is epoch-based
+  /// and both paths return identical results.
+  bool cache_enabled() const { return cache_enabled_; }
+  void set_cache_enabled(bool on) { cache_enabled_ = on; }
+
+  /// One-hop neighbors of `id` (distance <= range, excluding `id`), sorted.
   std::vector<NodeId> neighbors(NodeId id) const;
+
+  /// Same, without the copy.  The reference (like every *_view below) is
+  /// valid until the next topology mutation; protocol handlers never mutate
+  /// the topology, so holding one across a send is fine.
+  const std::vector<NodeId>& neighbors_view(NodeId id) const;
 
   /// True iff at least one node lies within transmission range of `p`.
   bool covered(const Point& p) const;
@@ -44,6 +70,10 @@ class Topology {
   /// All nodes within `k` hops of `id`, excluding `id`, paired with their hop
   /// distance (sorted by id for determinism).
   std::vector<std::pair<NodeId, std::uint32_t>> k_hop_neighbors(
+      NodeId id, std::uint32_t k) const;
+
+  /// Same, without the copy (memoized per epoch).
+  const std::vector<std::pair<NodeId, std::uint32_t>>& k_hop_view(
       NodeId id, std::uint32_t k) const;
 
   /// BFS hop distance, or nullopt if unreachable.
@@ -54,6 +84,25 @@ class Topology {
   std::unordered_map<NodeId, std::uint32_t> hop_distances_from(
       NodeId from) const;
 
+  /// Calls `fn(node, hops)` for every node reachable from `from` (including
+  /// `from` itself at hop 0) in BFS discovery order, without materializing
+  /// a map.  Preferred over hop_distances_from when the caller only folds
+  /// over the distances.
+  template <typename Fn>
+  void for_each_reachable(NodeId from, Fn&& fn) const {
+    QIP_ASSERT(has_node(from));
+    if (!cache_enabled_) {
+      bfs_uncached(from, TopologyCache::kUnreached,
+                   [&](NodeId n, std::uint32_t d) { fn(n, d); });
+      return;
+    }
+    const auto& graph = cache_.csr(index_);
+    const auto src = graph.rank_of(from);
+    QIP_ASSERT(src.has_value());
+    cache_.bfs(graph, *src, TopologyCache::kUnreached,
+               [&](std::uint32_t r, std::uint32_t d) { fn(graph.ids[r], d); });
+  }
+
   bool reachable(NodeId from, NodeId to) const {
     return hop_distance(from, to).has_value();
   }
@@ -62,16 +111,63 @@ class Topology {
   /// sorted by id.
   std::vector<NodeId> component_of(NodeId id) const;
 
+  /// Same, without the copy (the cached partition's group).
+  const std::vector<NodeId>& component_view(NodeId id) const;
+
   /// All connected components, each sorted, ordered by smallest member.
   std::vector<std::vector<NodeId>> components() const;
+
+  /// Same, without the copy (memoized per epoch).
+  const std::vector<std::vector<NodeId>>& components_view() const;
 
   /// Greatest hop distance from `id` to any node in its component.
   std::uint32_t eccentricity(NodeId id) const;
 
  private:
+  /// Uncached reference implementation of the BFS queries: grid query +
+  /// sort per visited node.  `fn(node, hops)` runs in discovery order.
+  template <typename Fn>
+  void bfs_uncached(NodeId from, std::uint32_t max_depth, Fn&& fn) const;
+
+  std::vector<NodeId> neighbors_uncached(NodeId id) const;
+  std::optional<std::uint32_t> hop_distance_uncached(NodeId from,
+                                                     NodeId to) const;
+
   Rect area_;
   double range_;
   GridIndex index_;
+  bool cache_enabled_;
+  // The cache holds no back-reference (methods take the index), keeping
+  // Topology movable; mutable because queries are logically const.
+  mutable TopologyCache cache_;
+  // Return slots for the *_view accessors when the cache is off.
+  mutable std::vector<NodeId> scratch_nbrs_;
+  mutable std::vector<std::pair<NodeId, std::uint32_t>> scratch_khop_;
+  mutable std::vector<NodeId> scratch_comp_;
+  mutable std::vector<std::vector<NodeId>> scratch_comps_;
 };
+
+template <typename Fn>
+void Topology::bfs_uncached(NodeId from, std::uint32_t max_depth,
+                            Fn&& fn) const {
+  // Discovery distances double as the visited set; the frontier carries
+  // each node's distance so the loop never re-reads the map (a plain
+  // `dist[u]` would default-insert on a logic slip and mask missing-key
+  // bugs).
+  std::unordered_map<NodeId, std::uint32_t> dist;
+  dist.emplace(from, 0);
+  fn(from, 0);
+  std::vector<std::pair<NodeId, std::uint32_t>> frontier{{from, 0}};
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const auto [u, d] = frontier[head];
+    if (d == max_depth) continue;
+    for (NodeId v : neighbors_uncached(u)) {
+      QIP_ASSERT_MSG(v != u, "self-loop in adjacency of node " << u);
+      if (!dist.emplace(v, d + 1).second) continue;
+      fn(v, d + 1);
+      frontier.emplace_back(v, d + 1);
+    }
+  }
+}
 
 }  // namespace qip

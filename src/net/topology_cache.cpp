@@ -1,0 +1,165 @@
+#include "net/topology_cache.hpp"
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+const std::vector<NodeId>& TopologyCache::neighbors(const GridIndex& index,
+                                                    NodeId id) {
+  AdjRow& row = adj_[id];
+  const Point& pos = index.position(id);
+  if (row.epoch == 0 || index.window_version(pos, range_) > row.epoch) {
+    index.query_into(pos, range_, static_cast<std::int64_t>(id), row.nbrs);
+    std::sort(row.nbrs.begin(), row.nbrs.end());
+    // The unit-disk adjacency must be simple: strictly ascending (a
+    // duplicated id in the index would corrupt every BFS on top) and never
+    // containing the node itself.
+    QIP_ASSERT(std::adjacent_find(row.nbrs.begin(), row.nbrs.end()) ==
+               row.nbrs.end());
+    QIP_ASSERT(!std::binary_search(row.nbrs.begin(), row.nbrs.end(), id));
+    row.epoch = index.epoch();
+  }
+  return row.nbrs;
+}
+
+const TopologyCache::Csr& TopologyCache::csr(const GridIndex& index) {
+  if (csr_epoch_ == index.epoch()) return csr_;
+  auto& ids = csr_.ids;
+  ids.clear();
+  ids.reserve(index.size());
+  index.for_each([&](NodeId id, const Point&) { ids.push_back(id); });
+  std::sort(ids.begin(), ids.end());
+  csr_.offsets.clear();
+  csr_.offsets.reserve(ids.size() + 1);
+  csr_.offsets.push_back(0);
+  csr_.adj.clear();
+  // Driver-assigned ids are sequential, so a direct-indexed rank table
+  // nearly always beats a per-edge binary search; fall back for sparse ids.
+  const bool dense = !ids.empty() && ids.back() < 4 * ids.size() + 64;
+  if (dense) {
+    rank_table_.assign(ids.back() + 1, kUnreached);
+    for (std::uint32_t r = 0; r < ids.size(); ++r) rank_table_[ids[r]] = r;
+  }
+  for (NodeId id : ids) {
+    for (NodeId v : neighbors(index, id)) {
+      if (dense) {
+        csr_.adj.push_back(rank_table_[v]);
+      } else {
+        const auto rank = csr_.rank_of(v);
+        QIP_ASSERT(rank.has_value());
+        csr_.adj.push_back(*rank);
+      }
+    }
+    csr_.offsets.push_back(static_cast<std::uint32_t>(csr_.adj.size()));
+  }
+  // Adjacency rows of long-departed nodes would otherwise accumulate across
+  // id churn; prune opportunistically once they dominate the table.
+  if (adj_.size() > 2 * ids.size() + 64) {
+    for (auto it = adj_.begin(); it != adj_.end();) {
+      if (std::binary_search(ids.begin(), ids.end(), it->first)) {
+        ++it;
+      } else {
+        it = adj_.erase(it);
+      }
+    }
+  }
+  csr_epoch_ = index.epoch();
+  return csr_;
+}
+
+const TopologyCache::Components& TopologyCache::components(
+    const GridIndex& index) {
+  if (comps_epoch_ == index.epoch()) return comps_;
+  const Csr& graph = csr(index);
+  const auto n = static_cast<std::uint32_t>(graph.ids.size());
+  comps_.groups.clear();
+  comps_.group_of.assign(n, kUnreached);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    if (comps_.group_of[r] != kUnreached) continue;
+    const auto group = static_cast<std::uint32_t>(comps_.groups.size());
+    queue_.clear();
+    queue_.push_back(r);
+    comps_.group_of[r] = group;
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+      const std::uint32_t u = queue_[head];
+      for (std::uint32_t i = graph.offsets[u]; i < graph.offsets[u + 1]; ++i) {
+        const std::uint32_t v = graph.adj[i];
+        if (comps_.group_of[v] != kUnreached) continue;
+        comps_.group_of[v] = group;
+        queue_.push_back(v);
+      }
+    }
+    // Ranks ascend with ids, so sorting ranks sorts the members; the outer
+    // scan ascends too, ordering groups by smallest member — both exactly
+    // as the uncached path produces them.
+    std::sort(queue_.begin(), queue_.end());
+    std::vector<NodeId> members;
+    members.reserve(queue_.size());
+    for (std::uint32_t m : queue_) members.push_back(graph.ids[m]);
+    comps_.groups.push_back(std::move(members));
+  }
+  comps_epoch_ = index.epoch();
+  return comps_;
+}
+
+const std::vector<std::pair<NodeId, std::uint32_t>>& TopologyCache::k_hop(
+    const GridIndex& index, NodeId id, std::uint32_t k) {
+  if (khop_epoch_ != index.epoch()) {
+    khop_.clear();
+    khop_epoch_ = index.epoch();
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(id) << 32) | k;
+  if (auto it = khop_.find(key); it != khop_.end()) return it->second;
+  std::vector<std::pair<NodeId, std::uint32_t>> out;
+  if (csr_epoch_ == index.epoch()) {
+    // A current snapshot exists (some unbounded query built it this epoch):
+    // ride its dense arrays.
+    const Csr& graph = csr_;
+    const auto src = graph.rank_of(id);
+    QIP_ASSERT(src.has_value());
+    bfs(graph, *src, k, [&](std::uint32_t r, std::uint32_t d) {
+      if (d > 0) out.emplace_back(graph.ids[r], d);
+    });
+  } else {
+    // Bounded queries stay local: BFS over the memoized adjacency rows so a
+    // 2-/3-hop question never pays for a whole-graph snapshot rebuild.
+    std::unordered_map<NodeId, std::uint32_t> dist{{id, 0}};
+    std::vector<std::pair<NodeId, std::uint32_t>> frontier{{id, 0}};
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const auto [u, d] = frontier[head];
+      if (d == k) continue;
+      for (NodeId v : neighbors(index, u)) {
+        if (!dist.emplace(v, d + 1).second) continue;
+        out.emplace_back(v, d + 1);
+        frontier.emplace_back(v, d + 1);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  if (khop_.size() >= kMaxKHopEntries) khop_.clear();
+  return khop_.emplace(key, std::move(out)).first->second;
+}
+
+std::optional<std::uint32_t> TopologyCache::hop_distance(const Csr& graph,
+                                                         std::uint32_t src,
+                                                         std::uint32_t dst) {
+  if (src == dst) return 0;
+  dist_.assign(graph.ids.size(), kUnreached);
+  queue_.clear();
+  dist_[src] = 0;
+  queue_.push_back(src);
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const std::uint32_t u = queue_[head];
+    const std::uint32_t d = dist_[u];
+    for (std::uint32_t i = graph.offsets[u]; i < graph.offsets[u + 1]; ++i) {
+      const std::uint32_t v = graph.adj[i];
+      if (dist_[v] != kUnreached) continue;
+      dist_[v] = d + 1;
+      if (v == dst) return d + 1;
+      queue_.push_back(v);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace qip

@@ -1,0 +1,145 @@
+// Epoch-versioned memoization layer for Topology's graph queries.
+//
+// Every mutation of the underlying GridIndex bumps a monotone epoch and
+// stamps the touched grid cells (GridIndex::epoch / window_version).  The
+// cache keys three tiers of derived state off those stamps:
+//
+//   * per-node sorted adjacency rows — revalidated individually against the
+//     3×3 cell window around the node, so one move only invalidates rows
+//     whose window overlaps the cells the mover left or entered;
+//   * one flat CSR-style snapshot of the whole graph per epoch (rank-dense
+//     ids, offsets, neighbor ranks), built by reusing every adjacency row
+//     that survived — BFS then runs on plain arrays with zero hashing;
+//   * the components partition and bounded k-hop result sets, valid for
+//     exactly one epoch.
+//
+// Everything is rebuilt lazily on first use after a mutation; a burst of n
+// moves followed by a query costs one rebuild, not n.  CSR rows are
+// rank-ascending, so BFS discovery order is identical to the uncached
+// sorted-neighbor BFS — cached and uncached results match element for
+// element (docs/SIMULATOR.md, "Topology cache").
+//
+// The class stores no reference to the GridIndex (callers pass it in), so
+// an owning Topology stays trivially movable.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "geom/grid_index.hpp"
+#include "net/node_id.hpp"
+
+namespace qip {
+
+class TopologyCache {
+ public:
+  /// Sentinel for "not reached" / "no depth bound".
+  static constexpr std::uint32_t kUnreached =
+      std::numeric_limits<std::uint32_t>::max();
+
+  explicit TopologyCache(double range) : range_(range) {}
+
+  /// Flat adjacency snapshot of the whole graph at one epoch.
+  struct Csr {
+    std::vector<NodeId> ids;             ///< sorted ascending; rank = index
+    std::vector<std::uint32_t> offsets;  ///< ids.size()+1 row starts into adj
+    std::vector<std::uint32_t> adj;      ///< neighbor ranks, ascending per row
+
+    /// Rank of `id`, or nullopt if not in the snapshot.
+    std::optional<std::uint32_t> rank_of(NodeId id) const {
+      const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+      if (it == ids.end() || *it != id) return std::nullopt;
+      return static_cast<std::uint32_t>(it - ids.begin());
+    }
+  };
+
+  struct Components {
+    /// Each group sorted ascending; groups ordered by smallest member.
+    std::vector<std::vector<NodeId>> groups;
+    /// rank -> index into `groups`.
+    std::vector<std::uint32_t> group_of;
+  };
+
+  /// Sorted one-hop neighbors of `id` (excluding `id`).  The reference stays
+  /// valid until the row is recomputed, which only happens after an index
+  /// mutation near the node.
+  const std::vector<NodeId>& neighbors(const GridIndex& index, NodeId id);
+
+  /// The CSR snapshot for the index's current epoch (rebuilt lazily).
+  const Csr& csr(const GridIndex& index);
+
+  /// The components partition for the current epoch.
+  const Components& components(const GridIndex& index);
+
+  /// Memoized k-hop neighborhood of `id` — (node, hops) pairs sorted by id,
+  /// excluding `id` itself.  Entries live for one epoch, bounded in number.
+  const std::vector<std::pair<NodeId, std::uint32_t>>& k_hop(
+      const GridIndex& index, NodeId id, std::uint32_t k);
+
+  /// BFS from rank `src`, bounded at `max_depth` hops (kUnreached = none),
+  /// calling `fn(rank, depth)` for the source (depth 0) and then for every
+  /// discovered node in discovery order.  Rows are rank-ascending, so the
+  /// order equals the uncached sorted-neighbor BFS exactly.
+  template <typename Fn>
+  void bfs(const Csr& graph, std::uint32_t src, std::uint32_t max_depth,
+           Fn&& fn) {
+    dist_.assign(graph.ids.size(), kUnreached);
+    queue_.clear();
+    dist_[src] = 0;
+    fn(static_cast<std::uint32_t>(src), 0u);
+    queue_.push_back(src);
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+      const std::uint32_t u = queue_[head];
+      const std::uint32_t d = dist_[u];
+      if (d == max_depth) continue;
+      for (std::uint32_t i = graph.offsets[u]; i < graph.offsets[u + 1]; ++i) {
+        const std::uint32_t v = graph.adj[i];
+        if (dist_[v] != kUnreached) continue;
+        dist_[v] = d + 1;
+        fn(v, d + 1);
+        queue_.push_back(v);
+      }
+    }
+  }
+
+  /// Early-exit BFS distance between two ranks (the value a full BFS would
+  /// assign), or nullopt when disconnected.
+  std::optional<std::uint32_t> hop_distance(const Csr& graph,
+                                            std::uint32_t src,
+                                            std::uint32_t dst);
+
+ private:
+  struct AdjRow {
+    std::vector<NodeId> nbrs;
+    std::uint64_t epoch = 0;  ///< 0 = never computed (index epochs start at 1)
+  };
+
+  /// Bound on memoized k-hop sets; past it the table restarts.  Generous:
+  /// one entry per (node, radius) pair actually queried within one epoch.
+  static constexpr std::size_t kMaxKHopEntries = 4096;
+  static constexpr std::uint64_t kNoEpoch =
+      std::numeric_limits<std::uint64_t>::max();
+
+  double range_;
+  std::unordered_map<NodeId, AdjRow> adj_;
+  Csr csr_;
+  std::uint64_t csr_epoch_ = kNoEpoch;
+  Components comps_;
+  std::uint64_t comps_epoch_ = kNoEpoch;
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<NodeId, std::uint32_t>>>
+      khop_;
+  std::uint64_t khop_epoch_ = kNoEpoch;
+  // BFS / rebuild scratch, reused across queries to avoid per-call
+  // allocation.
+  std::vector<std::uint32_t> dist_;
+  std::vector<std::uint32_t> queue_;
+  std::vector<std::uint32_t> rank_table_;
+};
+
+}  // namespace qip

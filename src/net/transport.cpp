@@ -81,7 +81,7 @@ std::vector<NodeId> Transport::flood(NodeId from, std::uint32_t radius,
                                      Traffic t, Receiver on_deliver) {
   if (!can_transmit(from)) return {};
   QIP_ASSERT(radius >= 1);
-  auto in_range = topology_.k_hop_neighbors(from, radius);
+  const auto& in_range = topology_.k_hop_view(from, radius);
   // Transmissions: the sender plus every node that relays (distance < radius).
   std::uint64_t transmissions = 1;
   for (const auto& [node, d] : in_range)
@@ -99,12 +99,15 @@ std::vector<NodeId> Transport::flood(NodeId from, std::uint32_t radius,
 std::vector<NodeId> Transport::flood_component(NodeId from, Traffic t,
                                                Receiver on_deliver) {
   if (!can_transmit(from)) return {};
-  const std::uint32_t ecc = topology_.eccentricity(from);
-  if (ecc == 0) {
+  // The cached components partition answers "is the sender alone?" without
+  // a BFS; the flood radius then costs one BFS over the same cached
+  // adjacency snapshot.
+  if (topology_.component_view(from).size() == 1) {
     // Isolated sender: one futile transmission.
     stats_.record(t, 1, 1);
     return {};
   }
+  const std::uint32_t ecc = topology_.eccentricity(from);
   return flood(from, ecc, t, std::move(on_deliver));
 }
 

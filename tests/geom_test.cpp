@@ -94,6 +94,55 @@ TEST(GridIndex, MoveAcrossCells) {
   EXPECT_DOUBLE_EQ(idx.position(1).x, 950.0);
 }
 
+TEST(GridIndex, BoundaryDistanceIsInclusive) {
+  // The unit-disk model counts d == radius as connected.  QIP's head
+  // separation (heads >= 2 hops apart) and every connectivity figure depend
+  // on this boundary: two nodes exactly one transmission range apart must
+  // be neighbors, and epsilon beyond must not.
+  GridIndex idx(150.0);
+  idx.insert(1, {0, 0});
+  idx.insert(2, {150.0, 0});          // exactly on the boundary
+  idx.insert(3, {0, 150.0000001});    // epsilon beyond
+  auto out = idx.query({0, 0}, 150.0, 1);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{2}));
+  // Both directions agree: the relation is symmetric on the boundary.
+  EXPECT_EQ(idx.query({150.0, 0}, 150.0, 2),
+            (std::vector<std::uint32_t>{1}));
+}
+
+TEST(GridIndex, EpochBumpsOnEveryMutation) {
+  GridIndex idx(100.0);
+  EXPECT_EQ(idx.epoch(), 0u);
+  idx.insert(1, {10, 10});
+  const auto e1 = idx.epoch();
+  EXPECT_GT(e1, 0u);
+  idx.move(1, {12, 12});  // same cell: still a mutation
+  const auto e2 = idx.epoch();
+  EXPECT_GT(e2, e1);
+  idx.move(1, {500, 500});  // cross-cell
+  const auto e3 = idx.epoch();
+  EXPECT_GT(e3, e2);
+  idx.remove(1);
+  EXPECT_GT(idx.epoch(), e3);
+}
+
+TEST(GridIndex, WindowVersionIsLocal) {
+  GridIndex idx(100.0);
+  idx.insert(1, {50, 50});
+  const auto near_origin = idx.window_version({50, 50}, 100.0);
+  EXPECT_EQ(near_origin, idx.epoch());
+  // A mutation far away must not disturb the origin's window...
+  idx.insert(2, {900, 900});
+  EXPECT_EQ(idx.window_version({50, 50}, 100.0), near_origin);
+  // ...but a nearby one must.
+  idx.insert(3, {60, 60});
+  EXPECT_GT(idx.window_version({50, 50}, 100.0), near_origin);
+  // Emptying a cell is a mutation its window must still report.
+  const auto far_before = idx.window_version({900, 900}, 100.0);
+  idx.remove(2);
+  EXPECT_GT(idx.window_version({900, 900}, 100.0), far_before);
+}
+
 TEST(GridIndex, QueryRadiusLargerThanCell) {
   GridIndex idx(50.0);
   idx.insert(1, {400, 0});

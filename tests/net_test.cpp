@@ -1,11 +1,18 @@
-// Unit tests for topology, transport metering and traffic stats.
+// Unit tests for topology, transport metering and traffic stats, plus the
+// differential suite pinning the epoch-versioned topology cache to a
+// brute-force oracle (ctest -L net).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
+#include "geom/point.hpp"
 #include "net/metrics.hpp"
 #include "net/topology.hpp"
 #include "net/transport.hpp"
 #include "sim/simulator.hpp"
 #include "util/assert.hpp"
+#include "util/rng.hpp"
 
 namespace qip {
 namespace {
@@ -81,6 +88,202 @@ TEST(Topology, OutOfAreaThrows) {
   auto topo = chain_topology();
   EXPECT_THROW(topo.add_node(50, {-1.0, 0.0}), InvariantViolation);
   EXPECT_THROW(topo.move_node(0, {2000.0, 0.0}), InvariantViolation);
+}
+
+TEST(Topology, CoincidentAndAdjacentNodes) {
+  // Regression for the early-exit BFS in hop_distance: nodes at distance 0
+  // (coincident) or exactly at the range boundary are ordinary one-hop
+  // neighbors, never self-loops, and distances stay symmetric and exact.
+  Topology topo(Rect{1000.0, 1000.0}, 120.0);
+  topo.add_node(0, {100.0, 100.0});
+  topo.add_node(1, {100.0, 100.0});  // coincident with 0
+  topo.add_node(2, {220.0, 100.0});  // exactly range away from both
+  EXPECT_EQ(topo.hop_distance(0, 0), 0u);
+  EXPECT_EQ(topo.hop_distance(0, 1), 1u);
+  EXPECT_EQ(topo.hop_distance(1, 0), 1u);
+  EXPECT_EQ(topo.hop_distance(0, 2), 1u);  // boundary d == range connects
+  EXPECT_EQ(topo.hop_distance(1, 2), 1u);
+  EXPECT_EQ(topo.neighbors(0), (std::vector<NodeId>{1, 2}));
+  const auto hops = topo.k_hop_neighbors(0, 2);
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_EQ(hops[0], (std::pair<NodeId, std::uint32_t>{1, 1}));
+  EXPECT_EQ(hops[1], (std::pair<NodeId, std::uint32_t>{2, 1}));
+  // The uncached path agrees.
+  topo.set_cache_enabled(false);
+  EXPECT_EQ(topo.hop_distance(0, 1), 1u);
+  EXPECT_EQ(topo.hop_distance(0, 2), 1u);
+  EXPECT_EQ(topo.neighbors(0), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Topology, EpochAdvancesWithMutations) {
+  auto topo = chain_topology();
+  const auto e0 = topo.epoch();
+  (void)topo.components();  // queries never bump the epoch
+  EXPECT_EQ(topo.epoch(), e0);
+  topo.move_node(0, {1.0, 1.0});
+  EXPECT_GT(topo.epoch(), e0);
+}
+
+TEST(Topology, CacheReactsToMutations) {
+  // The memoized answers must track every kind of mutation, including ones
+  // interleaved with queries (lazy rebuild, per-node invalidation).
+  auto topo = chain_topology();
+  ASSERT_TRUE(topo.cache_enabled());
+  EXPECT_EQ(topo.components().size(), 1u);
+  EXPECT_EQ(topo.neighbors(0), (std::vector<NodeId>{1}));
+  topo.move_node(4, {0.0, 100.0});  // now adjacent to 0 (and still to 3? no)
+  EXPECT_EQ(topo.neighbors(0), (std::vector<NodeId>{1, 4}));
+  EXPECT_EQ(topo.hop_distance(0, 4), 1u);
+  topo.remove_node(2);  // splits the chain: {0,1,4} vs {3}
+  const auto comps = topo.components();
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], (std::vector<NodeId>{0, 1, 4}));
+  EXPECT_EQ(comps[1], (std::vector<NodeId>{3}));
+  topo.add_node(2, {200.0, 0.0});  // heals it
+  EXPECT_EQ(topo.components().size(), 1u);
+  EXPECT_EQ(topo.k_hop_neighbors(4, 2),
+            (std::vector<std::pair<NodeId, std::uint32_t>>{{0, 1}, {1, 2}}));
+}
+
+// ---------------------------------------------------------------------------
+// Differential: cached topology vs. brute-force oracle under mobility
+// ---------------------------------------------------------------------------
+
+using OracleMap = std::map<NodeId, Point>;
+
+std::vector<NodeId> oracle_neighbors(const OracleMap& pts, NodeId id,
+                                     double range) {
+  std::vector<NodeId> out;
+  const Point& p = pts.at(id);
+  for (const auto& [n, q] : pts) {
+    if (n != id && distance_sq(p, q) <= range * range) out.push_back(n);
+  }
+  return out;  // std::map iteration is already id-sorted
+}
+
+std::vector<std::vector<NodeId>> oracle_components(const OracleMap& pts,
+                                                   double range) {
+  std::vector<std::vector<NodeId>> out;
+  std::map<NodeId, bool> seen;
+  for (const auto& [id, p] : pts) {
+    if (seen[id]) continue;
+    std::vector<NodeId> comp{id};
+    seen[id] = true;
+    for (std::size_t head = 0; head < comp.size(); ++head) {
+      for (NodeId nb : oracle_neighbors(pts, comp[head], range)) {
+        if (!seen[nb]) {
+          seen[nb] = true;
+          comp.push_back(nb);
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    out.push_back(comp);
+  }
+  return out;
+}
+
+std::vector<std::pair<NodeId, std::uint32_t>> oracle_k_hop(
+    const OracleMap& pts, NodeId id, std::uint32_t k, double range) {
+  std::map<NodeId, std::uint32_t> dist{{id, 0}};
+  std::vector<NodeId> frontier{id};
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const NodeId u = frontier[head];
+    const std::uint32_t d = dist.at(u);
+    if (d == k) continue;
+    for (NodeId v : oracle_neighbors(pts, u, range)) {
+      if (dist.emplace(v, d + 1).second) frontier.push_back(v);
+    }
+  }
+  std::vector<std::pair<NodeId, std::uint32_t>> out;
+  for (const auto& [n, d] : dist) {
+    if (d > 0) out.emplace_back(n, d);
+  }
+  return out;  // map order == sorted by id, matching k_hop_neighbors
+}
+
+TEST(TopologyDifferential, MatchesOracleUnderMobilityTrace) {
+  // A random-waypoint trace with churn (adds/removes), checked after every
+  // movement step against an O(n^2) oracle AND against a cache-disabled
+  // twin — including the hop-distance map's iteration order, which protocol
+  // tie-breaks can observe.
+  const double range = 180.0;
+  const Rect area{1000.0, 1000.0};
+  Rng rng(0xd1ff);
+  Topology cached(area, range);
+  cached.set_cache_enabled(true);
+  Topology plain(area, range);
+  plain.set_cache_enabled(false);
+  OracleMap pts;
+  std::map<NodeId, Point> dest;
+  NodeId next_id = 0;
+
+  const auto add = [&](const Point& p) {
+    cached.add_node(next_id, p);
+    plain.add_node(next_id, p);
+    pts[next_id] = p;
+    dest[next_id] = area.sample(rng);
+    ++next_id;
+  };
+  for (int i = 0; i < 40; ++i) add(area.sample(rng));
+
+  for (int step = 0; step < 60; ++step) {
+    // Random-waypoint tick: 20 m/s, 1 s steps, new destination on arrival.
+    for (auto& [id, p] : pts) {
+      if (p == dest[id]) dest[id] = area.sample(rng);
+      p = advance(p, dest[id], 20.0);
+      cached.move_node(id, p);
+      plain.move_node(id, p);
+    }
+    // Churn: occasional arrival or abrupt departure.
+    if (rng.chance(0.2)) {
+      add(area.sample(rng));
+    } else if (rng.chance(0.2) && pts.size() > 10) {
+      auto victim = std::next(pts.begin(),
+                              static_cast<std::ptrdiff_t>(
+                                  rng.index(pts.size())));
+      cached.remove_node(victim->first);
+      plain.remove_node(victim->first);
+      dest.erase(victim->first);
+      pts.erase(victim);
+    }
+
+    // Every node's adjacency, every step.
+    for (const auto& [id, p] : pts) {
+      ASSERT_EQ(cached.neighbors(id), oracle_neighbors(pts, id, range))
+          << "step " << step << " node " << id;
+      ASSERT_EQ(cached.neighbors_view(id), plain.neighbors_view(id));
+    }
+    // The components partition, every step.
+    ASSERT_EQ(cached.components(), oracle_components(pts, range))
+        << "step " << step;
+    ASSERT_EQ(cached.components_view(), plain.components_view());
+    // Sampled k-hop sets, hop distances, and the map's emplace order.
+    for (int probe = 0; probe < 3; ++probe) {
+      const NodeId a =
+          std::next(pts.begin(),
+                    static_cast<std::ptrdiff_t>(rng.index(pts.size())))
+              ->first;
+      const NodeId b =
+          std::next(pts.begin(),
+                    static_cast<std::ptrdiff_t>(rng.index(pts.size())))
+              ->first;
+      const auto k = static_cast<std::uint32_t>(1 + rng.index(3));
+      ASSERT_EQ(cached.k_hop_neighbors(a, k), oracle_k_hop(pts, a, k, range))
+          << "step " << step << " node " << a << " k " << k;
+      ASSERT_EQ(cached.hop_distance(a, b), plain.hop_distance(a, b));
+      ASSERT_EQ(cached.component_of(a), plain.component_of(a));
+      ASSERT_EQ(cached.eccentricity(a), plain.eccentricity(a));
+      const auto dc = cached.hop_distances_from(a);
+      const auto dp = plain.hop_distances_from(a);
+      // Not just equal as sets: byte-identical iteration order.
+      std::vector<std::pair<NodeId, std::uint32_t>> seq_c(dc.begin(),
+                                                          dc.end());
+      std::vector<std::pair<NodeId, std::uint32_t>> seq_p(dp.begin(),
+                                                          dp.end());
+      ASSERT_EQ(seq_c, seq_p) << "iteration order diverged at step " << step;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
