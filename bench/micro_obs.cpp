@@ -1,0 +1,116 @@
+// Microbenchmarks for the observability layer: what a disabled
+// instrumentation site costs (the branch every hot path pays), what an
+// enabled one costs (ring write, no allocation), and the end-to-end drag on
+// a representative transport workload.  The budget: tracing disabled must
+// stay within noise of no instrumentation at all.
+#include <benchmark/benchmark.h>
+
+#include "harness/driver.hpp"
+#include "harness/world.hpp"
+#include "core/qip_engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
+
+using namespace qip;
+
+namespace {
+
+/// Scope guard: the recorder is process-global, so every enabling bench
+/// must hand it back disabled and empty.
+struct TraceOff {
+  ~TraceOff() {
+    auto& rec = obs::TraceRecorder::instance();
+    rec.disable();
+    rec.clear();
+  }
+};
+
+}  // namespace
+
+static void BM_InstantDisabled(benchmark::State& state) {
+  auto& rec = obs::TraceRecorder::instance();
+  rec.disable();
+  for (auto _ : state) {
+    // The exact shape of every instrumentation site: one guarded call.
+    if (obs::tracing_on()) {
+      rec.instant(1.0, "unicast", "net", 7,
+                  {{"traffic", "configuration"}, {"hops", std::uint32_t{3}}});
+    }
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_InstantDisabled);
+
+static void BM_InstantEnabled(benchmark::State& state) {
+  TraceOff guard;
+  auto& rec = obs::TraceRecorder::instance();
+  rec.enable();
+  rec.clear();
+  for (auto _ : state) {
+    if (obs::tracing_on()) {
+      rec.instant(1.0, "unicast", "net", 7,
+                  {{"traffic", "configuration"}, {"hops", std::uint32_t{3}}});
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InstantEnabled);
+
+static void BM_SpanEnabled(benchmark::State& state) {
+  TraceOff guard;
+  auto& rec = obs::TraceRecorder::instance();
+  rec.enable();
+  rec.clear();
+  for (auto _ : state) {
+    const auto id = rec.begin_span(1.0, "config_txn", "qip", 7,
+                                   {{"txn", std::uint64_t{42}}});
+    rec.end_span(2.0, id, "config_txn", "qip", 7, {{"outcome", "committed"}});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_SpanEnabled);
+
+static void BM_MetricsCounterCached(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  auto& c = reg.counter("qip_bench_total", {{"traffic", "configuration"}});
+  for (auto _ : state) {
+    c.inc();
+    benchmark::DoNotOptimize(c.value());
+  }
+}
+BENCHMARK(BM_MetricsCounterCached);
+
+static void BM_MetricsCounterLookup(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  for (auto _ : state) {
+    reg.counter("qip_bench_total", {{"traffic", "configuration"}}).inc();
+  }
+}
+BENCHMARK(BM_MetricsCounterLookup);
+
+/// The honest number: a full bring-up through the instrumented transport,
+/// tracing off vs on.  Arg(0)=off, Arg(1)=on.
+static void BM_BringupTraced(benchmark::State& state) {
+  TraceOff guard;
+  auto& rec = obs::TraceRecorder::instance();
+  const bool traced = state.range(0) != 0;
+  for (auto _ : state) {
+    if (traced) {
+      rec.enable();
+      rec.clear();
+    } else {
+      rec.disable();
+    }
+    World world({}, /*seed=*/11);
+    QipEngine proto(world.transport(), world.rng(), QipParams{});
+    proto.start_hello();
+    Driver driver(world, proto);
+    driver.join(40);
+    world.run_for(5.0);
+    benchmark::DoNotOptimize(driver.configured_fraction());
+  }
+}
+BENCHMARK(BM_BringupTraced)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -11,6 +11,7 @@
 #include "harness/driver.hpp"
 #include "harness/seed.hpp"
 #include "harness/world.hpp"
+#include "obs/trace_session.hpp"
 
 using namespace qip;
 
@@ -56,6 +57,7 @@ RunResult run_campus(bool periodic_updates) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::TraceSession trace(obs::extract_trace_arg(argc, argv));
   g_seed = resolve_seed(/*fallback=*/2026, argc, argv);
   std::printf("Campus bring-up: 150 devices, 1 km^2, 20 m/s roaming\n\n");
 

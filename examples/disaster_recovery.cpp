@@ -13,10 +13,12 @@
 #include "harness/driver.hpp"
 #include "harness/seed.hpp"
 #include "harness/world.hpp"
+#include "obs/trace_session.hpp"
 
 using namespace qip;
 
 int main(int argc, char** argv) {
+  obs::TraceSession trace(obs::extract_trace_arg(argc, argv));
   WorldParams wp;
   wp.transmission_range = 150.0;
   wp.speed = 5.0;  // survivors move slowly

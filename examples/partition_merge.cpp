@@ -13,6 +13,7 @@
 #include "harness/driver.hpp"
 #include "harness/seed.hpp"
 #include "harness/world.hpp"
+#include "obs/trace_session.hpp"
 
 using namespace qip;
 
@@ -40,6 +41,7 @@ void print_census(const QipEngine& proto, const Driver& driver) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::TraceSession trace(obs::extract_trace_arg(argc, argv));
   WorldParams wp;
   wp.transmission_range = 150.0;
   World world(wp, resolve_seed(/*fallback=*/7, argc, argv));

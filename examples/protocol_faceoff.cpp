@@ -2,7 +2,14 @@
 // (QIP and the four baselines of §III) through the same scenario and prints
 // a side-by-side comparison — a one-binary tour of the design space the
 // paper surveys.
+//
+// Pass `--trace-dir DIR` to additionally record one structured trace per
+// protocol (DIR/faceoff_<name>.trace.json, Perfetto-loadable) and print the
+// qip-trace summary for each run.  The summaries use sim-time only, so the
+// extra output is as deterministic as the comparison table.
+#include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "baselines/boleng.hpp"
@@ -16,6 +23,10 @@
 #include "harness/driver.hpp"
 #include "harness/seed.hpp"
 #include "harness/world.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_io.hpp"
+#include "obs/trace_recorder.hpp"
+#include "obs/trace_session.hpp"
 #include "util/table.hpp"
 
 using namespace qip;
@@ -23,6 +34,7 @@ using namespace qip;
 namespace {
 
 std::uint64_t g_seed = 99;
+std::string g_trace_dir;
 
 struct Row {
   std::string name;
@@ -30,10 +42,48 @@ struct Row {
   double latency = 0.0;
   double config_hops = 0.0;
   double upkeep_hops = 0.0;
+  std::string trace_file;
+  std::string trace_summary;
 };
+
+// "QIP (this paper)" -> "qip_this_paper", for use in a filename.
+std::string slugify(const std::string& name) {
+  std::string slug;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug.push_back('_');
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
+// Strips `--trace-dir <dir>` from argv, mirroring obs::extract_trace_arg.
+std::string extract_trace_dir(int& argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-dir") != 0) continue;
+    std::string dir = argv[i + 1];
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    return dir;
+  }
+  return "";
+}
 
 template <typename MakeProto>
 Row run_scenario(const std::string& name, MakeProto&& make) {
+  obs::TraceSession trace;
+  std::string trace_file;
+  if (!g_trace_dir.empty()) {
+    trace_file = g_trace_dir + "/faceoff_" + slugify(name) + ".trace.json";
+    trace = obs::TraceSession(trace_file);
+  }
+  // Fresh metric values per protocol so ProfileScope histograms and exported
+  // counters describe this run alone (handles stay valid across resets).
+  obs::MetricsRegistry::instance().reset_values();
   WorldParams wp;
   wp.transmission_range = 150.0;
   World world(wp, g_seed);
@@ -57,12 +107,23 @@ Row run_scenario(const std::string& name, MakeProto&& make) {
   meter.reset();
   world.run_for(20.0);  // steady state: upkeep only
   row.upkeep_hops = static_cast<double>(meter.protocol_hops()) / kNodes;
+
+  if (trace.active()) {
+    // Summarize from the live ring before dumping: identical numbers to
+    // `qip-trace summary <file>`, minus the nondeterministic wall section.
+    const auto parsed = obs::to_parsed(obs::TraceRecorder::instance().events());
+    row.trace_summary =
+        obs::render_summary(obs::summarize(parsed), /*include_wall=*/false);
+    row.trace_file = trace_file;
+    trace.dump();
+  }
   return row;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_trace_dir = extract_trace_dir(argc, argv);
   g_seed = resolve_seed(/*fallback=*/99, argc, argv);
   std::printf("80 nodes join a 1 km^2 field (tr=150m, 20 m/s), then 20 s of "
               "steady state.\n\n");
@@ -112,5 +173,12 @@ int main(int argc, char** argv) {
                    format_double(r.upkeep_hops, 1)});
   }
   std::printf("%s", table.render().c_str());
+
+  if (!g_trace_dir.empty()) {
+    for (const Row& r : rows) {
+      std::printf("\n=== %s (trace: %s) ===\n%s", r.name.c_str(),
+                  r.trace_file.c_str(), r.trace_summary.c_str());
+    }
+  }
   return 0;
 }

@@ -4,15 +4,20 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+//
+// Pass `--trace run.json` to record a structured trace of the whole run
+// (loads in chrome://tracing / Perfetto; summarize with qip-trace).
 #include <cstdio>
 
 #include "core/qip_engine.hpp"
 #include "harness/driver.hpp"
 #include "harness/seed.hpp"
 #include "harness/world.hpp"
+#include "obs/trace_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace qip;
+  obs::TraceSession trace(obs::extract_trace_arg(argc, argv));
 
   // 1 km x 1 km field, 150 m radios, nodes roam at 20 m/s.
   WorldParams wp;

@@ -1,5 +1,6 @@
 #include "baselines/dad.hpp"
 
+#include "obs/trace_recorder.hpp"
 #include "util/assert.hpp"
 
 namespace qip {
@@ -73,6 +74,11 @@ void DadProtocol::areq_round(NodeId id) {
   }
 
   ++st.floods_done;
+  if (obs::tracing_on()) {
+    obs::TraceRecorder::instance().instant(
+        sim().now(), "AREQ", "dad", id,
+        {{"pick", st.picks}, {"round", st.floods_done}});
+  }
   // Flood AREQ; critical path grows by the flood's eccentricity (the
   // requestor must wait long enough for the farthest possible reply).
   const std::uint32_t ecc = topology().eccentricity(id);
@@ -84,6 +90,10 @@ void DadProtocol::areq_round(NodeId id) {
         auto& ns = node(n);
         if (!ns.configured || ns.ip != candidate) return;
         // AREP: the holder defends its address.
+        if (obs::tracing_on()) {
+          obs::TraceRecorder::instance().instant(sim().now(), "AREP", "dad", n,
+                                                 {{"to", id}});
+        }
         transport().unicast(n, id, Traffic::kConfiguration,
                             [this, id](NodeId, std::uint32_t) {
                               if (!alive(id)) return;

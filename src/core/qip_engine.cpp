@@ -6,10 +6,36 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/trace_recorder.hpp"
 #include "quorum/dynamic_linear.hpp"
 #include "util/logging.hpp"
 
 namespace qip {
+
+namespace {
+const char* vote_label(Vote v) {
+  switch (v) {
+    case Vote::kGrant: return "grant";
+    case Vote::kBusy: return "busy";
+    case Vote::kConflict: return "conflict";
+  }
+  return "?";
+}
+
+/// Closes the transaction's open "quorum_round" span, if any.  Safe to call
+/// on every resolution path: a round that never opened a span (tracing off,
+/// or failed before forming a group) is a no-op.
+void obs_close_round(double now, ConfigTxn& txn, const char* result) {
+  if (txn.obs_round_span == 0) return;
+  obs::TraceRecorder::instance().end_span(
+      now, txn.obs_round_span, "quorum_round", "qip", txn.allocator,
+      {{"result", result},
+       {"confirms", txn.confirms},
+       {"busy", txn.busy},
+       {"conflicts", txn.conflicts}});
+  txn.obs_round_span = 0;
+}
+}  // namespace
 
 const char* to_string(QipMsg m) {
   switch (m) {
@@ -123,6 +149,13 @@ const QipNodeState& QipEngine::state_of(NodeId id) const { return node(id); }
 
 void QipEngine::trace(QipMsg msg, NodeId from, NodeId to, std::uint32_t hops,
                       const std::string& detail) {
+  // Mirror every protocol message into the structured trace: name = the
+  // paper's message vocabulary, so `qip-trace summary` reports the same mix
+  // Table 1 does.
+  if (obs::tracing_on()) {
+    obs::TraceRecorder::instance().instant(sim().now(), to_string(msg), "qip",
+                                           from, {{"to", to}, {"hops", hops}});
+  }
   if (!trace_) return;
   trace_(TraceEvent{sim().now(), msg, from, to, hops, detail});
 }
@@ -302,6 +335,12 @@ void QipEngine::become_first_head(NodeId id) {
   rec.attempts = params_.max_r;
   rec.completed_at = sim().now();
   ++config_successes_;
+  if (obs::tracing_on()) {
+    obs::TraceRecorder::instance().instant(
+        sim().now(), "head_elected", "cluster", id,
+        {{"first", std::uint32_t{1}},
+         {"universe", static_cast<std::uint64_t>(st.owned_universe.size())}});
+  }
   QIP_DEBUG << "node " << id << " bootstrapped as first head with "
             << st.owned_universe.size() << " addresses";
 }
@@ -352,6 +391,14 @@ void QipEngine::begin_txn(NodeId allocator, const PendingRequest& req) {
   auto [it, inserted] = txns_.emplace(id, std::move(txn));
   QIP_ASSERT(inserted);
   ConfigTxn& t = it->second;
+
+  if (obs::tracing_on()) {
+    t.obs_span = obs::TraceRecorder::instance().begin_span(
+        sim().now(), "config_txn", "qip", allocator,
+        {{"txn", id},
+         {"requestor", req.requestor},
+         {"for_head", static_cast<std::uint32_t>(req.for_cluster_head)}});
+  }
 
   // Overall transaction deadline: if the exchange wedges (requestor died
   // mid-handshake, voters unreachable), fail and move on.
@@ -557,6 +604,19 @@ void QipEngine::start_quorum_round(ConfigTxn& txn) {
   txn.outstanding = 0;
   const std::uint64_t id = txn.id;
   const std::uint32_t round = txn.round;
+  if (obs::tracing_on()) {
+    // Child span of "config_txn": same txn id arg ties them together; the
+    // QDSet state rides along so a trace shows how the voting group evolved
+    // across rounds (quorum adjustment, §V-B).
+    txn.obs_round_span = obs::TraceRecorder::instance().begin_span(
+        sim().now(), "quorum_round", "qip", txn.allocator,
+        {{"txn", id},
+         {"round", round},
+         {"group_size", txn.group_size},
+         {"quorum_needed", quorum_needed(txn)},
+         {"distinguished", txn.distinguished},
+         {"voters", static_cast<std::uint64_t>(txn.voters.size())}});
+  }
   for (NodeId v : txn.voters) {
     if (!alive(v)) continue;
     const AddressBlock proposal = txn.proposed_block;
@@ -665,6 +725,11 @@ void QipEngine::handle_vote(std::uint64_t txn_id, std::uint32_t round,
   if (voter != kNoNode) {
     QIP_ASSERT(txn.outstanding > 0);
     --txn.outstanding;
+    if (obs::tracing_on()) {
+      obs::TraceRecorder::instance().instant(
+          sim().now(), "vote", "quorum", voter,
+          {{"txn", txn_id}, {"round", round}, {"vote", vote_label(vote)}});
+    }
     switch (vote) {
       case Vote::kGrant:
         ++txn.confirms;
@@ -685,6 +750,7 @@ void QipEngine::handle_vote(std::uint64_t txn_id, std::uint32_t round,
   const std::uint32_t yes = txn.confirms + 1;  // + our own copy
   if (yes >= quorum_needed(txn)) {
     txn.commit_hops = std::max(txn.base_hops, hops_so_far);
+    obs_close_round(sim().now(), txn, "quorum");
     commit_config(txn);
     return;
   }
@@ -694,6 +760,7 @@ void QipEngine::handle_vote(std::uint64_t txn_id, std::uint32_t round,
 }
 
 void QipEngine::round_failed(ConfigTxn& txn, bool conflict) {
+  obs_close_round(sim().now(), txn, conflict ? "conflict" : "busy");
   release_grants(txn);
   auto& a = node(txn.allocator);
 
@@ -801,6 +868,9 @@ void QipEngine::commit_config(ConfigTxn& txn) {
       a.owned_universe.merge(block);
       ++a.version;
       replicate_update(txn.allocator, txn.allocator, Traffic::kConfiguration);
+      txn.obs_outcome = "handover_failed";
+    } else {
+      txn.obs_outcome = "committed";
     }
     end_txn(txn);
     return;
@@ -876,6 +946,9 @@ void QipEngine::commit_config(ConfigTxn& txn) {
     // Requestor vanished before configuration: free the address again.
     free_owned_address(txn.owner == txn.allocator ? txn.allocator : txn.owner,
                        addr, Traffic::kConfiguration);
+    txn.obs_outcome = "handover_failed";
+  } else {
+    txn.obs_outcome = "committed";
   }
   end_txn(txn);
 }
@@ -930,6 +1003,14 @@ void QipEngine::complete_head(NodeId id, NodeId allocator, AddressBlock block,
   rec.completed_at = sim().now();
   ++config_successes_;
 
+  if (obs::tracing_on()) {
+    obs::TraceRecorder::instance().instant(
+        sim().now(), "head_elected", "cluster", id,
+        {{"first", std::uint32_t{0}},
+         {"universe", static_cast<std::uint64_t>(st.owned_universe.size())},
+         {"allocator", allocator}});
+  }
+
   send(id, allocator, QipMsg::kChAck, Traffic::kConfiguration, 0,
        [](std::uint64_t) {});
 
@@ -949,6 +1030,16 @@ void QipEngine::end_txn(ConfigTxn& txn) {
   const std::uint64_t id = txn.id;
   const NodeId allocator = txn.allocator;
   txn.retry_timer.cancel();
+  // A round abandoned without resolving (txn timeout) closes here.
+  obs_close_round(sim().now(), txn, "abort");
+  if (txn.obs_span != 0) {
+    obs::TraceRecorder::instance().end_span(
+        sim().now(), txn.obs_span, "config_txn", "qip", allocator,
+        {{"outcome", txn.obs_outcome},
+         {"attempts", txn.attempt},
+         {"rounds", txn.round}});
+    txn.obs_span = 0;
+  }
   if (alive(allocator)) {
     auto& a = node(allocator);
     if (a.active_txn == id) a.active_txn = 0;
@@ -969,6 +1060,7 @@ void QipEngine::end_txn(ConfigTxn& txn) {
 }
 
 void QipEngine::finish_config_failure(ConfigTxn& txn) {
+  txn.obs_outcome = "failed";
   release_grants(txn);
   const NodeId requestor = txn.requestor;
   ++config_failures_;

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "obs/trace_recorder.hpp"
 #include "util/logging.hpp"
 
 namespace qip {
@@ -36,8 +37,16 @@ void QipEngine::hello_tick() {
   for (const auto& [id, st] : nodes_) {
     if (st.role != Role::kUnconfigured && topology().has_node(id)) ++beacons;
   }
-  if (beacons > 0)
+  if (beacons > 0) {
     transport().stats().record(Traffic::kHello, beacons, beacons);
+    if (obs::tracing_on()) {
+      // Hellos are aggregated per tick, not sent individually; mirror the
+      // aggregate so the trace's message mix covers beacon traffic too.
+      obs::TraceRecorder::instance().instant(
+          sim().now(), "hello", "net", 0,
+          {{"traffic", "hello"}, {"hops", beacons}, {"count", beacons}});
+    }
+  }
 
   for (NodeId h : clusters_.heads()) {
     if (alive(h) && topology().has_node(h)) head_neighborhood_scan(h);
@@ -334,6 +343,11 @@ void QipEngine::start_reclamation(NodeId initiator, NodeId dead_head) {
   rec.settle_timer = sim().after(params_.reclaim_settle, [this, dead_head] {
     finish_reclamation(dead_head);
   });
+  if (obs::tracing_on()) {
+    rec.obs_span = obs::TraceRecorder::instance().begin_span(
+        sim().now(), "reclamation", "qip", initiator,
+        {{"dead_head", dead_head}});
+  }
   reclaims_.emplace(dead_head, std::move(rec));
 
   // ADDR_REC floods the initiator's neighborhood (reclamation is local,
@@ -387,11 +401,26 @@ void QipEngine::finish_reclamation(NodeId dead_head) {
   ReclaimTxn txn = std::move(it->second);
   reclaims_.erase(it);
 
+  auto close_span = [&](const char* result) {
+    if (txn.obs_span == 0) return;
+    obs::TraceRecorder::instance().end_span(
+        sim().now(), txn.obs_span, "reclamation", "qip", txn.initiator,
+        {{"result", result},
+         {"claims", static_cast<std::uint64_t>(txn.claims.size())}});
+    txn.obs_span = 0;
+  };
+
   const NodeId initiator = txn.initiator;
-  if (!is_head(initiator)) return;
+  if (!is_head(initiator)) {
+    close_span("initiator_lost");
+    return;
+  }
   auto& ini = node(initiator);
   auto rep_it = ini.replicas.find(dead_head);
-  if (rep_it == ini.replicas.end()) return;
+  if (rep_it == ini.replicas.end()) {
+    close_span("replica_gone");
+    return;
+  }
   const ReplicaCopy rep = rep_it->second;
 
   // Majority guard (§V-C): only the partition holding the majority of the
@@ -427,6 +456,7 @@ void QipEngine::finish_reclamation(NodeId dead_head) {
     QIP_DEBUG << "reclamation of " << dead_head
               << " abandoned: no quorum (" << reachable_copies << "/"
               << group << ")";
+    close_span("no_quorum");
     return;
   }
 
@@ -437,6 +467,7 @@ void QipEngine::finish_reclamation(NodeId dead_head) {
       topology().reachable(initiator, dead_head)) {
     QIP_DEBUG << "reclamation of " << dead_head
               << " abandoned: head reachable again";
+    close_span("head_returned");
     return;
   }
 
@@ -519,6 +550,7 @@ void QipEngine::finish_reclamation(NodeId dead_head) {
          });
   }
   ++reclaims_completed_;
+  close_span("reclaimed");
 }
 
 }  // namespace qip

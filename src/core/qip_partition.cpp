@@ -8,6 +8,7 @@
 // head regains the full pool and starts a fresh network for its members.
 #include "core/qip_engine.hpp"
 
+#include "obs/trace_recorder.hpp"
 #include "util/logging.hpp"
 
 namespace qip {
@@ -73,6 +74,10 @@ void QipEngine::heal_partition(NodeId detector) {
   // the freshest timestamp; losing holders reconfigure.
   ++merges_handled_;
   if (!topology().has_node(detector)) return;
+  if (obs::tracing_on()) {
+    obs::TraceRecorder::instance().instant(sim().now(), "partition_heal",
+                                           "cluster", detector);
+  }
   transport().flood_component(detector, Traffic::kPartition,
                               [](NodeId, std::uint32_t) {});
   trace(QipMsg::kMergePoll, detector, kNoNode, 0, "partition heal");
@@ -215,6 +220,11 @@ void QipEngine::absorb_network(NodeId detector, NetworkId winner_id,
       losers.push_back(id);
   }
   if (losers.empty()) return;
+  if (obs::tracing_on()) {
+    obs::TraceRecorder::instance().instant(
+        sim().now(), "network_merge", "cluster", detector,
+        {{"losers", static_cast<std::uint64_t>(losers.size())}});
+  }
   transport().flood_component(detector, Traffic::kPartition,
                               [](NodeId, std::uint32_t) {});
   trace(QipMsg::kMergePoll, detector, kNoNode, 0, "merge flood");
@@ -249,6 +259,10 @@ void QipEngine::isolated_head_recovery(NodeId head) {
   auto& st = node(head);
   QIP_ASSERT(st.role == Role::kClusterHead);
   QIP_INFO << "head " << head << " isolated; restarting as a fresh network";
+  if (obs::tracing_on()) {
+    obs::TraceRecorder::instance().instant(sim().now(), "isolated_head_recovery",
+                                           "cluster", head);
+  }
 
   st.qdset.clear();
   st.replicas.clear();

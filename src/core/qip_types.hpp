@@ -163,6 +163,12 @@ struct ConfigTxn {
   std::uint32_t attempt = 0;       ///< distinct proposals tried
   std::uint32_t busy_retries = 0;  ///< rounds abandoned to lock contention
   EventHandle retry_timer;
+
+  /// Observability: open trace-span ids (0 = none) and the outcome label the
+  /// transaction span closes with.  Written only behind obs::tracing_on().
+  std::uint64_t obs_span = 0;        ///< "config_txn" parent span
+  std::uint64_t obs_round_span = 0;  ///< current "quorum_round" child span
+  const char* obs_outcome = "handoff";
 };
 
 /// Reclamation of a vanished cluster head's address space (§IV-D).
@@ -172,6 +178,8 @@ struct ReclaimTxn {
   /// address -> surviving holder that claimed it via REC_REP.
   std::map<IpAddress, NodeId> claims;
   EventHandle settle_timer;
+  /// Observability: open "reclamation" trace-span id (0 = none).
+  std::uint64_t obs_span = 0;
 };
 
 }  // namespace qip

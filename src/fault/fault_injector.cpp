@@ -27,11 +27,13 @@ FaultInjector::Delivery FaultInjector::judge(NodeId from, NodeId to,
   if (!link_up(from, to, now) || !node_up(from, now) || !node_up(to, now)) {
     ++stats_.blackouts;
     d.copies = 0;
+    d.drop_reason = "outage";
     return d;
   }
   if (plan_.drop > 0.0 && rng_.chance(plan_.drop)) {
     ++stats_.dropped;
     d.copies = 0;
+    d.drop_reason = "loss";
     return d;
   }
   if (plan_.max_jitter > 0.0) d.extra[0] = rng_.uniform(0.0, plan_.max_jitter);

@@ -48,9 +48,13 @@ class FaultInjector {
 
   /// Fate of one delivery from -> to sent at `now`: how many copies arrive
   /// (0 = lost) and the extra latency of each.  Jitter is sampled per copy.
+  /// When copies == 0, `drop_reason` names why (string literal: "loss" for
+  /// the random drop probability, "outage" for a node/link blackout) so the
+  /// trace can break drops down by cause.
   struct Delivery {
     std::uint32_t copies = 1;
     SimTime extra[2] = {0.0, 0.0};
+    const char* drop_reason = nullptr;
   };
   Delivery judge(NodeId from, NodeId to, SimTime now);
 

@@ -1,6 +1,7 @@
 #include "harness/world.hpp"
 
 #include "util/assert.hpp"
+#include "util/logging.hpp"
 
 namespace qip {
 
@@ -10,7 +11,15 @@ World::World(const WorldParams& params, std::uint64_t seed)
       topology_(Rect{params.area_side, params.area_side},
                 params.transmission_range),
       transport_(sim_, topology_, stats_, params.per_hop_delay),
-      mobility_(sim_, topology_, rng_, params.mobility_tick) {}
+      mobility_(sim_, topology_, rng_, params.mobility_tick) {
+  // Most recent world wins: scenarios that run several worlds back to back
+  // (campus_bringup, protocol_faceoff) timestamp against the active one.
+  Logger::instance().set_time_source(this, [](const void* w) {
+    return static_cast<const World*>(w)->sim_.now();
+  });
+}
+
+World::~World() { Logger::instance().clear_time_source(this); }
 
 FaultInjector& World::enable_faults(const FaultPlan& plan) {
   faults_ = std::make_unique<FaultInjector>(plan);

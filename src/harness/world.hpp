@@ -33,6 +33,9 @@ struct WorldParams {
 class World {
  public:
   World(const WorldParams& params, std::uint64_t seed);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
 
   const WorldParams& params() const { return params_; }
   Rng& rng() { return rng_; }

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace qip {
 
 const char* to_string(Traffic t) {
@@ -42,6 +44,22 @@ std::string MessageStats::to_string() const {
        << acks_ << " acks\n";
   }
   return os.str();
+}
+
+void MessageStats::export_to(obs::MetricsRegistry& registry) const {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Traffic::kCount); ++i) {
+    const auto t = static_cast<Traffic>(i);
+    const auto& c = of(t);
+    const obs::Labels labels = {{"traffic", qip::to_string(t)}};
+    registry.counter("qip_messages_total", labels)
+        .set(static_cast<double>(c.messages));
+    registry.counter("qip_hops_total", labels).set(static_cast<double>(c.hops));
+  }
+  registry.counter("qip_dropped_in_flight_total")
+      .set(static_cast<double>(dropped_in_flight_));
+  registry.counter("qip_retransmissions_total")
+      .set(static_cast<double>(retransmissions_));
+  registry.counter("qip_acks_total").set(static_cast<double>(acks_));
 }
 
 }  // namespace qip

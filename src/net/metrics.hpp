@@ -11,6 +11,10 @@
 #include <cstdint>
 #include <string>
 
+namespace qip::obs {
+class MetricsRegistry;
+}
+
 namespace qip {
 
 enum class Traffic : std::size_t {
@@ -79,6 +83,13 @@ class MessageStats {
   }
 
   std::string to_string() const;
+
+  /// Snapshots every counter into the labeled registry:
+  /// `qip_messages_total{traffic=...}` / `qip_hops_total{traffic=...}` plus
+  /// `qip_dropped_in_flight_total`, `qip_retransmissions_total`,
+  /// `qip_acks_total`.  Counter::set() semantics, so repeated exports
+  /// converge instead of double-counting.
+  void export_to(obs::MetricsRegistry& registry) const;
 
  private:
   std::array<TrafficCounter, static_cast<std::size_t>(Traffic::kCount)>

@@ -1,5 +1,6 @@
 #include "net/reliable_channel.hpp"
 
+#include "obs/trace_recorder.hpp"
 #include "util/assert.hpp"
 
 namespace qip {
@@ -59,6 +60,11 @@ void ReliableChannel::arm_timer(std::uint64_t seq) {
     if (pit == pending_.end()) return;  // acked meanwhile
     if (pit->second.tries > params_.max_retries) {
       ++gave_up_;
+      if (obs::tracing_on()) {
+        obs::TraceRecorder::instance().instant(
+            transport_.sim().now(), "give_up", "rpc", pit->second.from,
+            {{"to", pit->second.to}, {"tries", pit->second.tries}});
+      }
       auto fail = std::move(pit->second.on_give_up);
       pending_.erase(pit);
       if (fail) fail();
@@ -75,12 +81,22 @@ void ReliableChannel::attempt(std::uint64_t seq) {
   ++p.tries;
   p.timeout *= params_.backoff;
   ++retransmissions_;
-  transport_.stats().note_retransmission();
   // A retransmission that fails to route (destination unreachable right
   // now) still burns a retry and re-arms: the outage may be transient, and
-  // the retry cap bounds the wait either way.
-  transport_.unicast(p.from, p.to, p.traffic,
-                     [this, seq](NodeId, std::uint32_t h) { on_data(seq, h); });
+  // the retry cap bounds the wait either way.  MessageStats only counts the
+  // attempts that actually routed — its breakout must stay reconcilable
+  // with the per-Traffic message counts, which are charged at send time.
+  const auto hops = transport_.unicast(
+      p.from, p.to, p.traffic,
+      [this, seq](NodeId, std::uint32_t h) { on_data(seq, h); });
+  if (hops) {
+    transport_.stats().note_retransmission();
+    if (obs::tracing_on()) {
+      obs::TraceRecorder::instance().instant(
+          transport_.sim().now(), "retransmit", "rpc", p.from,
+          {{"to", p.to}, {"try", p.tries}, {"hops", *hops}});
+    }
+  }
   arm_timer(seq);
 }
 
@@ -89,7 +105,13 @@ void ReliableChannel::on_data(std::uint64_t seq, std::uint32_t hops) {
   if (it == pending_.end()) {
     // The sender already gave up (or was acked and this is a duplicate copy
     // of a retransmission): late data is dropped, mirroring an aborted RPC.
-    if (delivered_.count(seq)) ++duplicates_suppressed_;
+    if (delivered_.count(seq)) {
+      ++duplicates_suppressed_;
+      if (obs::tracing_on()) {
+        obs::TraceRecorder::instance().instant(transport_.sim().now(),
+                                               "dup_suppressed", "rpc", 0);
+      }
+    }
     return;
   }
   // Copy out before any callback: delivering can re-enter send() and rehash
@@ -99,14 +121,25 @@ void ReliableChannel::on_data(std::uint64_t seq, std::uint32_t hops) {
   const Traffic traffic = it->second.traffic;
   const Receiver deliver = it->second.on_deliver;
   // Ack every copy (the previous ack may have been the loss), then deliver
-  // to the application at most once.
-  transport_.stats().note_ack();
-  transport_.unicast(to, from, traffic,
-                     [this, seq](NodeId, std::uint32_t) { on_ack(seq); });
+  // to the application at most once.  As with retransmissions, the ack only
+  // lands in MessageStats when it actually routed (and was thus charged).
+  const auto ack_hops = transport_.unicast(
+      to, from, traffic, [this, seq](NodeId, std::uint32_t) { on_ack(seq); });
+  if (ack_hops) {
+    transport_.stats().note_ack();
+    if (obs::tracing_on()) {
+      obs::TraceRecorder::instance().instant(transport_.sim().now(), "ack",
+                                             "rpc", to, {{"to", from}});
+    }
+  }
   if (delivered_.insert(seq).second) {
     deliver(to, hops);
   } else {
     ++duplicates_suppressed_;
+    if (obs::tracing_on()) {
+      obs::TraceRecorder::instance().instant(transport_.sim().now(),
+                                             "dup_suppressed", "rpc", to);
+    }
   }
 }
 

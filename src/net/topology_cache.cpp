@@ -1,5 +1,6 @@
 #include "net/topology_cache.hpp"
 
+#include "obs/profile.hpp"
 #include "util/assert.hpp"
 
 namespace qip {
@@ -24,6 +25,7 @@ const std::vector<NodeId>& TopologyCache::neighbors(const GridIndex& index,
 
 const TopologyCache::Csr& TopologyCache::csr(const GridIndex& index) {
   if (csr_epoch_ == index.epoch()) return csr_;
+  obs::ProfileScope prof("topo_csr_rebuild");
   auto& ids = csr_.ids;
   ids.clear();
   ids.reserve(index.size());
@@ -70,6 +72,7 @@ const TopologyCache::Csr& TopologyCache::csr(const GridIndex& index) {
 const TopologyCache::Components& TopologyCache::components(
     const GridIndex& index) {
   if (comps_epoch_ == index.epoch()) return comps_;
+  obs::ProfileScope prof("topo_components_rebuild");
   const Csr& graph = csr(index);
   const auto n = static_cast<std::uint32_t>(graph.ids.size());
   comps_.groups.clear();

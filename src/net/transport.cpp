@@ -1,8 +1,19 @@
 #include "net/transport.hpp"
 
+#include "obs/profile.hpp"
+#include "obs/trace_recorder.hpp"
 #include "util/assert.hpp"
 
 namespace qip {
+
+namespace {
+// All transport trace events live behind obs::tracing_on() and draw no
+// randomness, so traced runs stay byte-identical to untraced ones.
+void trace_drop(double now, NodeId to, const char* reason) {
+  obs::TraceRecorder::instance().instant(now, "drop", "net.drop", to,
+                                         {{"reason", reason}});
+}
+}  // namespace
 
 Transport::Transport(Simulator& sim, Topology& topology, MessageStats& stats,
                      SimTime per_hop_delay)
@@ -17,6 +28,7 @@ bool Transport::can_transmit(NodeId id) const {
   if (!topology_.has_node(id)) return false;
   if (faults_active() && !faults_->node_up(id, sim_.now())) {
     faults_->note_blocked_send();
+    if (obs::tracing_on()) trace_drop(sim_.now(), id, "send_blocked");
     return false;
   }
   return true;
@@ -30,12 +42,20 @@ void Transport::schedule_delivery(NodeId to, std::uint32_t hops, SimTime extra,
                // flight; a vanished radio hears nothing.
                if (!topology_.has_node(to)) {
                  stats_.note_dropped_in_flight();
+                 if (obs::tracing_on())
+                   trace_drop(sim_.now(), to, "in_flight_departed");
                  return;
                }
                // Likewise a radio that crashed after the send instant.
                if (faults_active() && !faults_->node_up(to, sim_.now())) {
                  faults_->note_blackout();
+                 if (obs::tracing_on())
+                   trace_drop(sim_.now(), to, "in_flight_crash");
                  return;
+               }
+               if (obs::tracing_on()) {
+                 obs::TraceRecorder::instance().instant(
+                     sim_.now(), "deliver", "net.rx", to, {{"hops", hops}});
                }
                fn(to, hops);
              });
@@ -46,6 +66,14 @@ void Transport::deliver_later(NodeId from, NodeId to, std::uint32_t hops,
   QIP_ASSERT(on_deliver != nullptr);
   if (faults_active()) {
     const auto fate = faults_->judge(from, to, sim_.now());
+    if (obs::tracing_on()) {
+      if (fate.copies == 0) {
+        trace_drop(sim_.now(), to, fate.drop_reason ? fate.drop_reason : "?");
+      } else if (fate.copies > 1) {
+        obs::TraceRecorder::instance().instant(sim_.now(), "dup", "net.drop",
+                                               to);
+      }
+    }
     for (std::uint32_t c = 0; c < fate.copies; ++c) {
       schedule_delivery(to, hops, fate.extra[c], on_deliver);
     }
@@ -64,6 +92,11 @@ std::optional<std::uint32_t> Transport::unicast(NodeId from, NodeId to,
   const auto hops = topology_.hop_distance(from, to);
   if (!hops) return std::nullopt;
   stats_.record(t, *hops);
+  if (obs::tracing_on()) {
+    obs::TraceRecorder::instance().instant(
+        sim_.now(), "unicast", "net", from,
+        {{"traffic", to_string(t)}, {"to", to}, {"hops", *hops}});
+  }
   deliver_later(from, to, *hops, std::move(on_deliver));
   return hops;
 }
@@ -73,6 +106,13 @@ std::vector<NodeId> Transport::local_broadcast(NodeId from, Traffic t,
   if (!can_transmit(from)) return {};
   auto heard = topology_.neighbors(from);
   stats_.record(t, 1);  // one transmission regardless of audience size
+  if (obs::tracing_on()) {
+    obs::TraceRecorder::instance().instant(
+        sim_.now(), "bcast", "net", from,
+        {{"traffic", to_string(t)},
+         {"hops", std::uint32_t{1}},
+         {"heard", static_cast<std::uint64_t>(heard.size())}});
+  }
   for (NodeId n : heard) deliver_later(from, n, 1, on_deliver);
   return heard;
 }
@@ -81,12 +121,21 @@ std::vector<NodeId> Transport::flood(NodeId from, std::uint32_t radius,
                                      Traffic t, Receiver on_deliver) {
   if (!can_transmit(from)) return {};
   QIP_ASSERT(radius >= 1);
+  obs::ProfileScope prof("transport_flood");
   const auto& in_range = topology_.k_hop_view(from, radius);
   // Transmissions: the sender plus every node that relays (distance < radius).
   std::uint64_t transmissions = 1;
   for (const auto& [node, d] : in_range)
     if (d < radius) ++transmissions;
   stats_.record(t, transmissions, /*messages=*/1);
+  if (obs::tracing_on()) {
+    obs::TraceRecorder::instance().instant(
+        sim_.now(), "flood", "net", from,
+        {{"traffic", to_string(t)},
+         {"radius", radius},
+         {"hops", transmissions},
+         {"reached", static_cast<std::uint64_t>(in_range.size())}});
+  }
   std::vector<NodeId> reached;
   reached.reserve(in_range.size());
   for (const auto& [node, d] : in_range) {
@@ -105,6 +154,13 @@ std::vector<NodeId> Transport::flood_component(NodeId from, Traffic t,
   if (topology_.component_view(from).size() == 1) {
     // Isolated sender: one futile transmission.
     stats_.record(t, 1, 1);
+    if (obs::tracing_on()) {
+      obs::TraceRecorder::instance().instant(
+          sim_.now(), "flood", "net", from,
+          {{"traffic", to_string(t)},
+           {"hops", std::uint32_t{1}},
+           {"reached", std::uint32_t{0}}});
+    }
     return {};
   }
   const std::uint32_t ecc = topology_.eccentricity(from);

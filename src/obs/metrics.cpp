@@ -1,0 +1,166 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace qip::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  QIP_ASSERT_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bounds must ascend");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const std::uint64_t next = seen + counts_[b];
+    if (static_cast<double>(next) >= target) {
+      const double lo = b == 0 ? (bounds_.empty() ? min_ : std::min(min_, bounds_[0]))
+                               : bounds_[b - 1];
+      const double hi = b < bounds_.size() ? bounds_[b] : max_;
+      if (counts_[b] == 1 || hi <= lo) return std::min(hi, max_);
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(counts_[b]);
+      return std::min(lo + frac * (hi - lo), max_);
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+}
+
+std::vector<double> latency_buckets_s() {
+  std::vector<double> b;
+  for (double v = 1e-6; v < 200.0; v *= 2.0) b.push_back(v);
+  return b;
+}
+
+std::vector<double> duration_buckets_us() {
+  std::vector<double> b;
+  for (double v = 0.25; v < 2e7; v *= 2.0) b.push_back(v);
+  return b;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+namespace {
+std::string series_key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  if (labels.empty()) return key;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  key += '{';
+  bool first = true;
+  for (const auto& [k, v] : sorted) {
+    if (!first) key += ',';
+    first = false;
+    key += k;
+    key += '=';
+    key += v;
+  }
+  key += '}';
+  return key;
+}
+}  // namespace
+
+MetricsRegistry::Series& MetricsRegistry::at(std::string_view name,
+                                             const Labels& labels) {
+  return series_[series_key(name, labels)];
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, const Labels& labels) {
+  Series& s = at(name, labels);
+  QIP_ASSERT_MSG(!s.gauge && !s.histogram, "series type mismatch: " << name);
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
+  Series& s = at(name, labels);
+  QIP_ASSERT_MSG(!s.counter && !s.histogram, "series type mismatch: " << name);
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const Labels& labels,
+                                      std::vector<double> bounds) {
+  Series& s = at(name, labels);
+  QIP_ASSERT_MSG(!s.counter && !s.gauge, "series type mismatch: " << name);
+  if (!s.histogram) s.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *s.histogram;
+}
+
+void MetricsRegistry::reset_values() {
+  for (auto& [key, s] : series_) {
+    if (s.counter) s.counter->reset();
+    if (s.gauge) s.gauge->reset();
+    if (s.histogram) s.histogram->reset();
+  }
+}
+
+namespace {
+std::string format_value(double v) {
+  char buf[48];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string MetricsRegistry::render_text() const {
+  std::ostringstream os;
+  for (const auto& [key, s] : series_) {  // std::map: sorted by key
+    if (s.counter) {
+      os << key << ' ' << format_value(s.counter->value()) << '\n';
+    } else if (s.gauge) {
+      os << key << ' ' << format_value(s.gauge->value()) << '\n';
+    } else if (s.histogram) {
+      const Histogram& h = *s.histogram;
+      os << key << "_count " << h.count() << '\n';
+      os << key << "_sum " << format_value(h.sum()) << '\n';
+      if (h.count() > 0) {
+        os << key << "_p50 " << format_value(h.quantile(0.5)) << '\n';
+        os << key << "_p99 " << format_value(h.quantile(0.99)) << '\n';
+        os << key << "_max " << format_value(h.max()) << '\n';
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace qip::obs

@@ -1,0 +1,48 @@
+// Wall-clock profiling sections.
+//
+// A ProfileScope brackets a hot path (topology-cache rebuild, flood fan-out)
+// with real-clock timestamps: when tracing is enabled the section lands on
+// the trace's wall-clock track (pid 2) as a Chrome "X" event AND feeds a
+// `profile_us{site=...}` histogram in the global MetricsRegistry.  When
+// tracing is disabled the constructor is a single branch — no clock reads,
+// no lookups — so instrumented hot paths cost nothing in production runs
+// (bench/micro_obs.cpp keeps this honest).
+//
+// Wall-clock sections never influence the simulation (they only *read* the
+// real clock), so traced runs stay byte-identical to untraced ones.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
+
+namespace qip::obs {
+
+class ProfileScope {
+ public:
+  /// `site` must be a string literal (it names the trace event and the
+  /// histogram label).
+  explicit ProfileScope(const char* site) {
+    if (!tracing_on()) return;
+    site_ = site;
+    start_us_ = TraceRecorder::instance().wall_now_us();
+  }
+
+  ~ProfileScope() {
+    if (site_ == nullptr) return;
+    TraceRecorder& r = TraceRecorder::instance();
+    const double dur = r.wall_now_us() - start_us_;
+    r.complete_wall(site_, "profile", start_us_, dur);
+    MetricsRegistry::instance()
+        .histogram("profile_us", {{"site", site_}}, duration_buckets_us())
+        .observe(dur);
+  }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  const char* site_ = nullptr;
+  double start_us_ = 0.0;
+};
+
+}  // namespace qip::obs

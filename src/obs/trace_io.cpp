@@ -1,0 +1,527 @@
+#include "obs/trace_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <istream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/table.hpp"
+
+namespace qip::obs {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — just enough for trace files (objects, arrays,
+// strings, numbers, booleans, null).  Self-contained so the tool stack has
+// no external dependency.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Json {
+  enum class Type { kNull, kBool, kNum, kStr, kArr, kObj };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::vector<std::pair<std::string, Json>> obj;
+
+  const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string_value();
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::size_t pos() const { return pos_; }
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+  const std::string& error() const { return error_; }
+
+ private:
+  std::optional<Json> fail(const char* what) {
+    if (error_.empty()) {
+      error_ = what;
+      error_ += " at offset " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> parse_string() {
+    skip_ws();
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("bad \\u escape");
+              return std::nullopt;
+            }
+            const unsigned code = static_cast<unsigned>(
+                std::strtoul(std::string(text_.substr(pos_, 4)).c_str(),
+                             nullptr, 16));
+            pos_ += 4;
+            // Trace content is ASCII; encode BMP code points as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+            return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Json> parse_string_value() {
+    auto s = parse_string();
+    if (!s) return std::nullopt;
+    Json j;
+    j.type = Json::Type::kStr;
+    j.str = std::move(*s);
+    return j;
+  }
+
+  std::optional<Json> parse_number() {
+    skip_ws();
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) return fail("expected number");
+    pos_ += static_cast<std::size_t>(end - start);
+    Json j;
+    j.type = Json::Type::kNum;
+    j.num = v;
+    return j;
+  }
+
+  std::optional<Json> parse_bool() {
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      Json j;
+      j.type = Json::Type::kBool;
+      j.b = true;
+      return j;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      Json j;
+      j.type = Json::Type::kBool;
+      return j;
+    }
+    return fail("expected bool");
+  }
+
+  std::optional<Json> parse_null() {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return Json{};
+    }
+    return fail("expected null");
+  }
+
+  std::optional<Json> parse_array() {
+    consume('[');
+    Json j;
+    j.type = Json::Type::kArr;
+    if (consume(']')) return j;
+    while (true) {
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      j.arr.push_back(std::move(*v));
+      if (consume(']')) return j;
+      if (!consume(',')) return fail("expected , or ] in array");
+    }
+  }
+
+  std::optional<Json> parse_object() {
+    consume('{');
+    Json j;
+    j.type = Json::Type::kObj;
+    if (consume('}')) return j;
+    while (true) {
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      if (!consume(':')) return fail("expected : in object");
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      j.obj.emplace_back(std::move(*key), std::move(*v));
+      if (consume('}')) return j;
+      if (!consume(',')) return fail("expected , or } in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::optional<ParsedEvent> event_from_json(const Json& j) {
+  if (j.type != Json::Type::kObj) return std::nullopt;
+  ParsedEvent e;
+  if (const Json* ph = j.find("ph"); ph && !ph->str.empty()) {
+    e.ph = ph->str[0];
+  }
+  if (e.ph == 'M') return std::nullopt;  // metadata (process names)
+  if (const Json* v = j.find("name")) e.name = v->str;
+  if (const Json* v = j.find("cat")) e.cat = v->str;
+  if (const Json* v = j.find("ts")) e.ts = v->num;
+  if (const Json* v = j.find("dur")) e.dur = v->num;
+  if (const Json* v = j.find("id")) {
+    e.id = v->type == Json::Type::kNum
+               ? static_cast<std::uint64_t>(v->num)
+               : std::strtoull(v->str.c_str(), nullptr, 10);
+  }
+  if (const Json* v = j.find("tid")) e.tid = static_cast<std::uint32_t>(v->num);
+  if (const Json* v = j.find("pid")) e.pid = static_cast<std::uint32_t>(v->num);
+  if (const Json* args = j.find("args"); args && args->type == Json::Type::kObj) {
+    for (const auto& [k, v] : args->obj) {
+      if (v.type == Json::Type::kNum) {
+        e.num_args[k] = v.num;
+      } else if (v.type == Json::Type::kStr) {
+        e.str_args[k] = v.str;
+      }
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+std::optional<std::vector<ParsedEvent>> read_trace(std::istream& in,
+                                                   std::string* error) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::vector<ParsedEvent> out;
+  // Try the whole stream as one JSON document first (Chrome format).  A
+  // JSONL file fails this because a second value follows the first line.
+  {
+    JsonParser p(text);
+    auto doc = p.parse_value();
+    if (doc && p.at_end()) {
+      const Json* events = doc->find("traceEvents");
+      if (doc->type == Json::Type::kObj && events == nullptr) {
+        if (error) *error = "JSON object has no traceEvents array";
+        return std::nullopt;
+      }
+      const Json& arr = events ? *events : *doc;
+      if (arr.type != Json::Type::kArr) {
+        if (error) *error = "traceEvents is not an array";
+        return std::nullopt;
+      }
+      for (const Json& j : arr.arr) {
+        if (auto e = event_from_json(j)) out.push_back(std::move(*e));
+      }
+      return out;
+    }
+  }
+
+  // JSONL: one object per line (blank lines tolerated).
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    JsonParser p(line);
+    auto j = p.parse_value();
+    if (!j || !p.at_end()) {
+      if (error) {
+        *error = "line " + std::to_string(line_no) + ": " +
+                 (j ? "trailing garbage" : p.error());
+      }
+      return std::nullopt;
+    }
+    if (auto e = event_from_json(*j)) out.push_back(std::move(*e));
+  }
+  return out;
+}
+
+std::vector<ParsedEvent> to_parsed(const std::vector<Event>& events) {
+  std::vector<ParsedEvent> out;
+  out.reserve(events.size());
+  for (const Event& e : events) {
+    ParsedEvent p;
+    p.name = e.name ? e.name : "";
+    p.cat = e.cat ? e.cat : "";
+    p.id = e.id;
+    p.tid = e.tid;
+    switch (e.phase) {
+      case Phase::kInstant: p.ph = 'i'; break;
+      case Phase::kBegin: p.ph = 'b'; break;
+      case Phase::kEnd: p.ph = 'e'; break;
+      case Phase::kCounter: p.ph = 'C'; break;
+      case Phase::kComplete: p.ph = 'X'; break;
+    }
+    const bool wall = e.phase == Phase::kComplete;
+    p.pid = wall ? 2 : 1;
+    p.ts = wall ? e.ts : e.ts * 1e6;
+    p.dur = e.dur;
+    for (std::uint8_t i = 0; i < e.argc; ++i) {
+      const Arg& a = e.args[i];
+      switch (a.kind) {
+        case Arg::Kind::kInt: p.num_args[a.key] = static_cast<double>(a.i); break;
+        case Arg::Kind::kDouble: p.num_args[a.key] = a.d; break;
+        case Arg::Kind::kStr: p.str_args[a.key] = a.s; break;
+        case Arg::Kind::kNone: break;
+      }
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Summary
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double exact_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
+  idx = std::min(idx, sorted.size() - 1);
+  return sorted[idx];
+}
+
+}  // namespace
+
+TraceSummary summarize(const std::vector<ParsedEvent>& events) {
+  TraceSummary s;
+  s.total_events = events.size();
+
+  struct MixKey {
+    std::string name, cat;
+    bool operator<(const MixKey& o) const {
+      return name != o.name ? name < o.name : cat < o.cat;
+    }
+  };
+  std::map<MixKey, TraceSummary::MessageRow> mix;
+  std::unordered_map<std::uint64_t, std::pair<std::string, double>> open_spans;
+  std::map<std::string, std::vector<double>> span_durations;  // sim µs
+  std::map<std::string, std::uint64_t> span_unmatched;
+  std::map<std::string, TraceSummary::WallRow> wall;
+
+  for (const ParsedEvent& e : events) {
+    if (e.pid == 1) s.sim_span_s = std::max(s.sim_span_s, e.ts / 1e6);
+
+    if (e.ph == 'i') {
+      if (e.cat == "net" || e.cat == "qip" || e.cat == "dad") {
+        // Message mix: transport sends carry a traffic label; protocol-level
+        // events group by their message name.
+        auto t = e.str_args.find("traffic");
+        MixKey key{e.name, t != e.str_args.end() ? t->second : e.cat};
+        auto& row = mix[key];
+        row.name = key.name;
+        row.cat = key.cat;
+        // Aggregate events (hello beacons) carry a "count" arg covering many
+        // messages; ordinary events count as one each.
+        auto c = e.num_args.find("count");
+        row.count +=
+            c != e.num_args.end() ? static_cast<std::uint64_t>(c->second) : 1;
+        if (auto h = e.num_args.find("hops"); h != e.num_args.end()) {
+          row.hops += static_cast<std::uint64_t>(h->second);
+        }
+      } else if (e.cat == "net.drop") {
+        if (e.name == "dup") {
+          ++s.duplicates;
+        } else {
+          auto r = e.str_args.find("reason");
+          ++s.drops[r != e.str_args.end() ? r->second : "?"];
+        }
+      } else if (e.cat == "rpc") {
+        if (e.name == "retransmit") ++s.retransmissions;
+        else if (e.name == "ack") ++s.acks;
+        else if (e.name == "give_up") ++s.give_ups;
+        else if (e.name == "dup_suppressed") ++s.duplicates;
+      }
+    } else if (e.ph == 'b') {
+      // A reopened id (should not happen) counts the lost begin as unmatched.
+      auto [it, fresh] = open_spans.try_emplace(e.id, e.name, e.ts);
+      if (!fresh) {
+        ++span_unmatched[it->second.first];
+        it->second = {e.name, e.ts};
+      }
+    } else if (e.ph == 'e') {
+      auto it = open_spans.find(e.id);
+      if (it == open_spans.end()) {
+        ++span_unmatched[e.name];
+      } else {
+        span_durations[it->second.first].push_back(e.ts - it->second.second);
+        open_spans.erase(it);
+      }
+    } else if (e.ph == 'X') {
+      auto& row = wall[e.name];
+      row.name = e.name;
+      ++row.count;
+      row.total += e.dur;
+      row.max = std::max(row.max, e.dur);
+    }
+  }
+  for (const auto& [id, open] : open_spans) ++span_unmatched[open.first];
+
+  for (auto& [key, row] : mix) s.messages.push_back(std::move(row));
+  std::sort(s.messages.begin(), s.messages.end(),
+            [](const auto& a, const auto& b) {
+              return a.count != b.count ? a.count > b.count
+                                        : (a.name != b.name ? a.name < b.name
+                                                            : a.cat < b.cat);
+            });
+
+  std::map<std::string, TraceSummary::SpanRow> spans;
+  for (auto& [name, durs] : span_durations) {
+    std::sort(durs.begin(), durs.end());
+    auto& row = spans[name];
+    row.name = name;
+    row.count = durs.size();
+    row.p50 = exact_quantile(durs, 0.50) / 1e3;
+    row.p90 = exact_quantile(durs, 0.90) / 1e3;
+    row.p99 = exact_quantile(durs, 0.99) / 1e3;
+    row.max = durs.back() / 1e3;
+  }
+  for (const auto& [name, n] : span_unmatched) {
+    auto& row = spans[name];
+    row.name = name;
+    row.unmatched = n;
+  }
+  for (auto& [name, row] : spans) s.spans.push_back(std::move(row));
+
+  for (auto& [name, row] : wall) {
+    row.mean = row.count ? row.total / static_cast<double>(row.count) : 0.0;
+    s.wall.push_back(std::move(row));
+  }
+  std::sort(s.wall.begin(), s.wall.end(), [](const auto& a, const auto& b) {
+    return a.total != b.total ? a.total > b.total : a.name < b.name;
+  });
+  return s;
+}
+
+std::string render_summary(const TraceSummary& s, bool include_wall) {
+  std::ostringstream os;
+  os << "trace: " << s.total_events << " events over "
+     << format_double(s.sim_span_s, 3) << " s of sim time\n";
+
+  if (!s.messages.empty()) {
+    os << "\nmessage mix:\n";
+    TextTable t({"message", "category", "count", "hops"});
+    for (const auto& m : s.messages) {
+      t.add_row({m.name, m.cat, std::to_string(m.count),
+                 std::to_string(m.hops)});
+    }
+    os << t.render();
+  }
+
+  if (!s.spans.empty()) {
+    os << "\nspans (sim-time):\n";
+    TextTable t({"span", "count", "p50 ms", "p90 ms", "p99 ms", "max ms",
+                 "open"});
+    for (const auto& sp : s.spans) {
+      t.add_row({sp.name, std::to_string(sp.count), format_double(sp.p50, 2),
+                 format_double(sp.p90, 2), format_double(sp.p99, 2),
+                 format_double(sp.max, 2), std::to_string(sp.unmatched)});
+    }
+    os << t.render();
+  }
+
+  const bool any_rel = s.retransmissions || s.acks || s.give_ups ||
+                       s.duplicates || !s.drops.empty();
+  if (any_rel) {
+    os << "\ndrops and reliability:\n";
+    TextTable t({"event", "count"});
+    for (const auto& [reason, n] : s.drops) {
+      t.add_row({"drop: " + reason, std::to_string(n)});
+    }
+    if (s.retransmissions)
+      t.add_row({"retransmission", std::to_string(s.retransmissions)});
+    if (s.acks) t.add_row({"ack", std::to_string(s.acks)});
+    if (s.give_ups) t.add_row({"rpc give-up", std::to_string(s.give_ups)});
+    if (s.duplicates)
+      t.add_row({"duplicate delivery", std::to_string(s.duplicates)});
+    os << t.render();
+  }
+
+  if (include_wall && !s.wall.empty()) {
+    os << "\nwall-clock profile:\n";
+    TextTable t({"site", "count", "total us", "mean us", "max us"});
+    for (const auto& w : s.wall) {
+      t.add_row({w.name, std::to_string(w.count), format_double(w.total, 1),
+                 format_double(w.mean, 2), format_double(w.max, 1)});
+    }
+    os << t.render();
+  }
+  return os.str();
+}
+
+}  // namespace qip::obs

@@ -1,0 +1,90 @@
+// Trace file reading and summarization — the analysis half of the
+// observability layer, shared by the `qip-trace` CLI and the examples.
+//
+// read_trace() accepts both formats the recorder writes (JSONL: one Chrome
+// trace_event object per line; Chrome JSON: {"traceEvents":[...]}) via a
+// small self-contained JSON parser, so a trace can round-trip through either
+// representation and external traces with the same shape load too.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace_recorder.hpp"
+
+namespace qip::obs {
+
+/// One event as read back from a trace file (strings owned, args split by
+/// type).  `ts`/`dur` are microseconds, as in the file.
+struct ParsedEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'i';  ///< 'i' instant, 'b'/'e' span, 'C' counter, 'X' wall
+  double ts = 0.0;
+  double dur = 0.0;
+  std::uint64_t id = 0;
+  std::uint32_t tid = 0;
+  std::uint32_t pid = 1;
+  std::map<std::string, double> num_args;
+  std::map<std::string, std::string> str_args;
+};
+
+/// Parses a trace stream (JSONL or Chrome JSON, autodetected).  Metadata
+/// events (ph "M") are skipped.  Returns nullopt on malformed input and
+/// stores a message in `error` when given.
+std::optional<std::vector<ParsedEvent>> read_trace(std::istream& in,
+                                                   std::string* error = nullptr);
+
+/// In-memory bridge: converts live recorder entries into the parsed form,
+/// so summaries compute identically from a file or a running recorder.
+std::vector<ParsedEvent> to_parsed(const std::vector<Event>& events);
+
+// ---------------------------------------------------------------------------
+
+/// Aggregates the per-run reporting the paper's evaluation axes ask for:
+/// message mix, span latency percentiles, drop/retransmission breakdown.
+struct TraceSummary {
+  struct MessageRow {
+    std::string name;  ///< event name (e.g. "unicast", "QUORUM_CLT")
+    std::string cat;
+    std::uint64_t count = 0;
+    std::uint64_t hops = 0;  ///< summed "hops" args where present
+  };
+  struct SpanRow {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t unmatched = 0;  ///< begins with no end (ring wrap, abort)
+    // Sim-time durations in milliseconds.
+    double p50 = 0.0, p90 = 0.0, p99 = 0.0, max = 0.0;
+  };
+  struct WallRow {
+    std::string name;
+    std::uint64_t count = 0;
+    // Wall-clock microseconds.
+    double total = 0.0, mean = 0.0, max = 0.0;
+  };
+
+  std::uint64_t total_events = 0;
+  double sim_span_s = 0.0;  ///< last sim timestamp seen
+  std::vector<MessageRow> messages;  ///< sorted by count, descending
+  std::vector<SpanRow> spans;        ///< sorted by name
+  std::vector<WallRow> wall;         ///< sorted by total, descending
+  std::map<std::string, std::uint64_t> drops;  ///< reason -> count
+  std::uint64_t retransmissions = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t give_ups = 0;
+  std::uint64_t duplicates = 0;
+};
+
+TraceSummary summarize(const std::vector<ParsedEvent>& events);
+
+/// Renders the summary as the aligned tables `qip-trace summary` prints.
+/// `include_wall` drops the (nondeterministic) wall-clock section so
+/// deterministic outputs (protocol_faceoff) can embed the summary.
+std::string render_summary(const TraceSummary& s, bool include_wall = true);
+
+}  // namespace qip::obs

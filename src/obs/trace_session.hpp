@@ -1,0 +1,42 @@
+// RAII wrapper that scopes tracing to one run and dumps it to a file —
+// the glue between the recorder and the CLIs (`qip-sim --trace out.json`,
+// the examples, protocol_faceoff's per-protocol traces).
+#pragma once
+
+#include <string>
+
+namespace qip::obs {
+
+/// Strips a `--trace <file>` pair from argv (if present) and returns the
+/// file path, or "" when the flag is absent.  Mutates argc/argv so the
+/// caller's own argument parsing never sees the flag.
+std::string extract_trace_arg(int& argc, char** argv);
+
+/// While alive (and constructed with a non-empty path): tracing is enabled
+/// and the ring is clear.  Destruction dumps the recorded events to the path
+/// (.json → Chrome trace_event, else JSONL) and disables tracing again.
+/// A default-constructed or empty-path session is inert.
+class TraceSession {
+ public:
+  TraceSession() = default;
+  explicit TraceSession(std::string path);
+  ~TraceSession();
+
+  TraceSession(TraceSession&& other) noexcept;
+  TraceSession& operator=(TraceSession&& other) noexcept;
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  bool active() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// Dumps immediately (used before printing a summary of the same run);
+  /// the destructor then becomes a no-op.
+  bool dump();
+
+ private:
+  std::string path_;
+  bool was_enabled_ = false;  ///< restore state for nested/env-driven tracing
+};
+
+}  // namespace qip::obs

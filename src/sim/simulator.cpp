@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace_recorder.hpp"
+
 namespace qip {
 
 bool Simulator::step() {
@@ -10,6 +12,12 @@ bool Simulator::step() {
   QIP_ASSERT_MSG(fired.time >= now_, "event time regressed");
   now_ = fired.time;
   ++executed_;
+  // Sampled scheduling depth: one counter event per 128 executed events is
+  // enough to see backlog build-up in a trace without drowning it.
+  if (obs::tracing_on() && (executed_ & 127u) == 0) {
+    obs::TraceRecorder::instance().counter(
+        now_, "event_queue_depth", "sim", static_cast<double>(queue_.size()));
+  }
   fired.fn();
   if (!probes_.empty()) run_probes();
   return true;

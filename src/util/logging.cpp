@@ -1,6 +1,24 @@
 #include "util/logging.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 namespace qip {
+
+namespace {
+
+// QIP_LOG_SIMTIME=1 opts log lines into sim-time timestamps.  Read once:
+// the switch is a run-level decision, like QIP_TRACE_FILE.
+bool simtime_requested() {
+  static const bool on = [] {
+    const char* v = std::getenv("QIP_LOG_SIMTIME");
+    return v != nullptr && std::strcmp(v, "1") == 0;
+  }();
+  return on;
+}
+
+}  // namespace
 
 const char* to_string(LogLevel level) {
   switch (level) {
@@ -29,7 +47,13 @@ void Logger::write(LogLevel level, const std::string& message) {
   if (level >= LogLevel::kWarn && level < LogLevel::kOff) ++warnings_;
   if (!enabled(level)) return;
   std::ostream& out = sink_ ? *sink_ : std::cerr;
-  out << '[' << to_string(level) << "] " << message << '\n';
+  out << '[' << to_string(level);
+  if (time_fn_ != nullptr && simtime_requested()) {
+    char ts[32];
+    std::snprintf(ts, sizeof ts, " t=%.3f", time_fn_(time_owner_));
+    out << ts;
+  }
+  out << "] " << message << '\n';
 }
 
 }  // namespace qip

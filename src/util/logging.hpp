@@ -35,6 +35,22 @@ class Logger {
   /// stderr.
   void set_sink(std::ostream* sink) { sink_ = sink; }
 
+  /// Installs a simulated-clock source so log lines can carry sim-time
+  /// timestamps (`[WARN t=12.345] ...`).  Timestamps only appear when the
+  /// environment sets QIP_LOG_SIMTIME=1, so default output is unchanged.
+  /// `owner` scopes the registration: clear_time_source() from a stale owner
+  /// (an outer World destructing after an inner one registered) is a no-op.
+  using TimeFn = double (*)(const void* owner);
+  void set_time_source(const void* owner, TimeFn fn) {
+    time_owner_ = owner;
+    time_fn_ = fn;
+  }
+  void clear_time_source(const void* owner) {
+    if (time_owner_ != owner) return;
+    time_owner_ = nullptr;
+    time_fn_ = nullptr;
+  }
+
   bool enabled(LogLevel level) const { return level >= level_; }
 
   void write(LogLevel level, const std::string& message);
@@ -49,6 +65,8 @@ class Logger {
   LogLevel level_ = LogLevel::kWarn;
   std::ostream* sink_ = nullptr;
   std::uint64_t warnings_ = 0;
+  const void* time_owner_ = nullptr;
+  TimeFn time_fn_ = nullptr;
 };
 
 namespace detail {

@@ -1,0 +1,53 @@
+# Byte-compares a figure bench's stdout with tracing off and on.  Invoked by
+# ctest (see tools/CMakeLists.txt) as
+#
+#   cmake -DBENCH=<exe> -DTRACE_FILE=<tmp path> -P check_trace_invariance.cmake
+#
+# The observability contract (docs/OBSERVABILITY.md): the TraceRecorder draws
+# no randomness and schedules nothing, so enabling it via QIP_TRACE_FILE must
+# leave every protocol outcome — and therefore every figure — byte-identical.
+# QIP_ROUNDS=1 keeps the double run cheap; any divergence at one round would
+# only compound at more.
+if(NOT DEFINED BENCH OR NOT DEFINED TRACE_FILE)
+  message(FATAL_ERROR
+      "check_trace_invariance.cmake needs -DBENCH=... and -DTRACE_FILE=...")
+endif()
+
+set(ENV{QIP_ROUNDS} 1)
+
+set(ENV{QIP_TRACE_FILE} "")
+execute_process(
+  COMMAND "${BENCH}"
+  OUTPUT_VARIABLE untraced
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} (untraced) exited with status ${rc}")
+endif()
+
+set(ENV{QIP_TRACE_FILE} "${TRACE_FILE}")
+execute_process(
+  COMMAND "${BENCH}"
+  OUTPUT_VARIABLE traced
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} (traced) exited with status ${rc}")
+endif()
+
+# The run must actually have recorded something, or the comparison is vacuous.
+if(NOT EXISTS "${TRACE_FILE}")
+  message(FATAL_ERROR
+      "QIP_TRACE_FILE was set but ${BENCH} wrote no trace to ${TRACE_FILE}")
+endif()
+file(REMOVE "${TRACE_FILE}")
+
+if(NOT traced STREQUAL untraced)
+  set(dump_a "${CMAKE_CURRENT_BINARY_DIR}/trace_invariance_untraced.txt")
+  set(dump_b "${CMAKE_CURRENT_BINARY_DIR}/trace_invariance_traced.txt")
+  file(WRITE "${dump_a}" "${untraced}")
+  file(WRITE "${dump_b}" "${traced}")
+  message(FATAL_ERROR
+      "${BENCH} output changes when tracing is enabled — the recorder "
+      "perturbed the run.\nuntraced: ${dump_a}\ntraced:   ${dump_b}")
+endif()

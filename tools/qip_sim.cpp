@@ -3,11 +3,14 @@
 //   qip-sim [--protocol qip|manetconf|buddy|ctree|dad|weakdad|pdad|boleng]
 //           [--nodes N] [--range M] [--speed M/S] [--seed S]
 //           [--duration SECS] [--churn N] [--abrupt RATIO]
-//           [--pool N] [--csv FILE] [--quiet]
+//           [--pool N] [--csv FILE] [--trace FILE] [--quiet]
 //
 // Joins N nodes sequentially, lets them roam for the duration, applies the
 // requested churn (departures + replacement arrivals), and prints a summary
-// plus (optionally) a per-node CSV of configuration records.
+// plus (optionally) a per-node CSV of configuration records.  With --trace
+// the whole run is recorded as a structured trace (.json loads in
+// chrome://tracing / Perfetto; any other extension gets JSONL) — inspect it
+// with `qip-trace summary <file>`.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,6 +28,9 @@
 #include "harness/driver.hpp"
 #include "harness/seed.hpp"
 #include "harness/world.hpp"
+#include "obs/trace_io.hpp"
+#include "obs/trace_recorder.hpp"
+#include "obs/trace_session.hpp"
 #include "util/csv.hpp"
 
 using namespace qip;
@@ -52,7 +58,7 @@ struct Options {
       "boleng]\n"
       "          [--nodes N] [--range M] [--speed M/S] [--seed S]\n"
       "          [--duration SECS] [--churn N] [--abrupt RATIO]\n"
-      "          [--pool N] [--csv FILE] [--quiet]\n",
+      "          [--pool N] [--csv FILE] [--trace FILE] [--quiet]\n",
       argv0);
   std::exit(2);
 }
@@ -165,6 +171,7 @@ std::unique_ptr<AutoconfProtocol> make_protocol(const Options& opt,
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::TraceSession trace(obs::extract_trace_arg(argc, argv));
   const Options opt = parse(argc, argv);
 
   WorldParams wp;
@@ -227,6 +234,15 @@ int main(int argc, char** argv) {
     }
     if (!opt.quiet) {
       std::printf("wrote per-node records to %s\n", opt.csv_path.c_str());
+    }
+  }
+
+  if (trace.active()) {
+    const std::string path = trace.path();
+    trace.dump();
+    if (!opt.quiet) {
+      std::printf("wrote trace to %s (inspect with: qip-trace summary %s)\n",
+                  path.c_str(), path.c_str());
     }
   }
   return 0;

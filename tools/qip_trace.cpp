@@ -1,0 +1,160 @@
+// qip-trace — inspect and convert structured traces written by the
+// simulator (QIP_TRACE_FILE, qip-sim --trace, the examples).
+//
+//   qip-trace summary <file> [--no-wall]   per-protocol message mix, span
+//                                          latency percentiles, drop and
+//                                          retransmission breakdown
+//   qip-trace to-chrome <in> <out.json>    rewrite as Chrome trace_event
+//                                          JSON (chrome://tracing, Perfetto)
+//   qip-trace to-jsonl <in> <out>          rewrite as one event per line
+//
+// Both converters accept either format on input (autodetected), so a trace
+// can round-trip JSONL -> Chrome -> JSONL.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "obs/trace_io.hpp"
+
+using namespace qip;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s summary <file> [--no-wall]\n"
+               "       %s to-chrome <in> <out>\n"
+               "       %s to-jsonl <in> <out>\n",
+               argv0, argv0, argv0);
+  std::exit(2);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  // Trim trailing zeros (and a bare trailing dot) for compact output.
+  std::string s(buf);
+  const auto dot = s.find('.');
+  if (dot != std::string::npos) {
+    auto last = s.find_last_not_of('0');
+    if (last == dot) --last;
+    s.erase(last + 1);
+  }
+  return s;
+}
+
+std::string event_json(const obs::ParsedEvent& e) {
+  std::string out = "{\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"" +
+                    json_escape(e.cat) + "\",\"ph\":\"";
+  out += e.ph;
+  out += "\",\"ts\":" + format_number(e.ts);
+  if (e.ph == 'X') out += ",\"dur\":" + format_number(e.dur);
+  out += ",\"pid\":" + std::to_string(e.pid) +
+         ",\"tid\":" + std::to_string(e.tid);
+  if (e.ph == 'b' || e.ph == 'e') {
+    out += ",\"id\":\"" + std::to_string(e.id) + "\"";
+  }
+  if (e.ph == 'i') out += ",\"s\":\"t\"";
+  if (!e.num_args.empty() || !e.str_args.empty()) {
+    out += ",\"args\":{";
+    bool first = true;
+    for (const auto& [k, v] : e.num_args) {
+      if (!first) out += ',';
+      first = false;
+      out += "\"" + json_escape(k) + "\":" + format_number(v);
+    }
+    for (const auto& [k, v] : e.str_args) {
+      if (!first) out += ',';
+      first = false;
+      out += "\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::optional<std::vector<obs::ParsedEvent>> load(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "qip-trace: cannot read %s\n", path);
+    return std::nullopt;
+  }
+  std::string error;
+  auto events = obs::read_trace(in, &error);
+  if (!events) {
+    std::fprintf(stderr, "qip-trace: %s: %s\n", path, error.c_str());
+  }
+  return events;
+}
+
+int convert(const char* in_path, const char* out_path, bool chrome) {
+  const auto events = load(in_path);
+  if (!events) return 1;
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "qip-trace: cannot write %s\n", out_path);
+    return 1;
+  }
+  if (chrome) {
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":"
+           "{\"name\":\"sim-time\"}},\n";
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"args\":"
+           "{\"name\":\"wall-clock\"}}";
+    for (const auto& e : *events) out << ",\n" << event_json(e);
+    out << "\n]}\n";
+  } else {
+    for (const auto& e : *events) out << event_json(e) << "\n";
+  }
+  std::printf("qip-trace: wrote %zu events to %s\n", events->size(), out_path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage(argv[0]);
+  const std::string cmd = argv[1];
+  if (cmd == "summary") {
+    bool wall = true;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--no-wall") == 0) wall = false;
+      else usage(argv[0]);
+    }
+    const auto events = load(argv[2]);
+    if (!events) return 1;
+    const obs::TraceSummary s = obs::summarize(*events);
+    std::fputs(obs::render_summary(s, wall).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "to-chrome" || cmd == "to-jsonl") {
+    if (argc != 4) usage(argv[0]);
+    return convert(argv[2], argv[3], cmd == "to-chrome");
+  }
+  usage(argv[0]);
+}
