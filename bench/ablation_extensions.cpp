@@ -11,10 +11,13 @@
 // Like the figure benches, rounds are controlled by QIP_ROUNDS.
 #include <cstdio>
 
+#include "bench_figure_main.hpp"
 #include "core/qip_engine.hpp"
 #include "harness/driver.hpp"
 #include "harness/figures.hpp"
+#include "harness/parallel.hpp"
 #include "harness/world.hpp"
+#include "sim/sim_context.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -31,10 +34,10 @@ struct Outcome {
 };
 
 Outcome run(const QipParams& qp, std::uint32_t nn, std::uint64_t seed,
-            double abrupt_head_ratio = 0.0) {
+            SimContext& ctx, double abrupt_head_ratio = 0.0) {
   WorldParams wp;
   wp.transmission_range = 150.0;
-  World world(wp, seed);
+  World world(wp, seed, ctx);
   QipEngine proto(world.transport(), world.rng(), qp);
   proto.start_hello();
   Driver d(world, proto);
@@ -64,8 +67,9 @@ Outcome run(const QipParams& qp, std::uint32_t nn, std::uint64_t seed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::uint32_t rounds = rounds_from_env(3);
+  const std::uint32_t jobs = benchmain::jobs_from_args(argc, argv);
 
   // --- 1. Borrowing, under a pool squeezed to 1.6x the population --------
   std::printf("== Ablation A: QuorumSpace borrowing (§V-A), pool=96, nn=60 "
@@ -74,15 +78,19 @@ int main() {
     TextTable t({"variant", "configured%", "failures", "latency"});
     for (bool borrowing : {true, false}) {
       RunningStats cfg, fail, lat;
-      for (std::uint32_t r = 0; r < rounds; ++r) {
-        QipParams qp;
-        qp.pool_size = 96;
-        qp.enable_borrowing = borrowing;
-        const Outcome o = run(qp, 60, 1000 + r);
-        cfg.add(100.0 * o.configured);
-        fail.add(o.failures);
-        lat.add(o.latency);
-      }
+      run_cells<Outcome>(
+          process_context(), jobs, rounds,
+          [&](std::size_t r, SimContext& ctx) {
+            QipParams qp;
+            qp.pool_size = 96;
+            qp.enable_borrowing = borrowing;
+            return run(qp, 60, 1000 + r, ctx);
+          },
+          [&](std::size_t, Outcome&& o) {
+            cfg.add(100.0 * o.configured);
+            fail.add(o.failures);
+            lat.add(o.latency);
+          });
       t.add_row({borrowing ? "borrowing on" : "borrowing off",
                  format_double(cfg.mean(), 1), format_double(fail.mean(), 1),
                  format_double(lat.mean(), 2)});
@@ -97,14 +105,18 @@ int main() {
     TextTable t({"variant", "configured%", "failures", "latency"});
     for (bool dl : {true, false}) {
       RunningStats cfg, fail, lat;
-      for (std::uint32_t r = 0; r < rounds; ++r) {
-        QipParams qp;
-        qp.dynamic_linear = dl;
-        const Outcome o = run(qp, 100, 2000 + r, /*abrupt_head_ratio=*/0.4);
-        cfg.add(100.0 * o.configured);
-        fail.add(o.failures);
-        lat.add(o.latency);
-      }
+      run_cells<Outcome>(
+          process_context(), jobs, rounds,
+          [&](std::size_t r, SimContext& ctx) {
+            QipParams qp;
+            qp.dynamic_linear = dl;
+            return run(qp, 100, 2000 + r, ctx, /*abrupt_head_ratio=*/0.4);
+          },
+          [&](std::size_t, Outcome&& o) {
+            cfg.add(100.0 * o.configured);
+            fail.add(o.failures);
+            lat.add(o.latency);
+          });
       t.add_row({dl ? "dynamic linear" : "strict majority",
                  format_double(cfg.mean(), 1), format_double(fail.mean(), 1),
                  format_double(lat.mean(), 2)});
@@ -119,14 +131,18 @@ int main() {
                  "configured%"});
     for (std::uint32_t floor : {0u, 2u, 3u, 5u}) {
       RunningStats qd, maint, cfg;
-      for (std::uint32_t r = 0; r < rounds; ++r) {
-        QipParams qp;
-        qp.min_qdset = floor;
-        const Outcome o = run(qp, 100, 3000 + r);
-        qd.add(o.qdset);
-        maint.add(o.maintenance_hops);
-        cfg.add(100.0 * o.configured);
-      }
+      run_cells<Outcome>(
+          process_context(), jobs, rounds,
+          [&](std::size_t r, SimContext& ctx) {
+            QipParams qp;
+            qp.min_qdset = floor;
+            return run(qp, 100, 3000 + r, ctx);
+          },
+          [&](std::size_t, Outcome&& o) {
+            qd.add(o.qdset);
+            maint.add(o.maintenance_hops);
+            cfg.add(100.0 * o.configured);
+          });
       t.add_row({format_double(floor, 0), format_double(qd.mean(), 2),
                  format_double(maint.mean(), 0),
                  format_double(cfg.mean(), 1)});

@@ -19,10 +19,13 @@
 #include <cstdio>
 
 #include "baselines/ctree.hpp"
+#include "bench_figure_main.hpp"
 #include "core/qip_engine.hpp"
 #include "harness/driver.hpp"
 #include "harness/figures.hpp"
+#include "harness/parallel.hpp"
 #include "harness/world.hpp"
+#include "sim/sim_context.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -76,8 +79,9 @@ void churn_epoch(World& w, Driver& d, Proto& proto, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::uint32_t rounds = rounds_from_env(2);
+  const std::uint32_t jobs = benchmain::jobs_from_args(argc, argv);
   constexpr int kEpochs = 6;
   constexpr std::uint32_t kNodes = 80;
 
@@ -89,64 +93,82 @@ int main() {
 
   std::vector<RunningStats> qf(kEpochs), qc(kEpochs), cf(kEpochs),
       cc(kEpochs);
-  for (std::uint32_t r = 0; r < rounds; ++r) {
-    // --- QIP ---------------------------------------------------------------
-    {
-      WorldParams wp;
-      World w(wp, 777 + r);
-      QipParams qp;
-      qp.pool_size = 1024;
-      QipEngine proto(w.transport(), w.rng(), qp);
-      proto.start_hello();
-      Driver d(w, proto);
-      d.join(kNodes);
-      w.run_for(3.0);
-      for (int e = 0; e < kEpochs; ++e) {
-        churn_epoch(w, d, proto, w.rng());
-        const FragStats f = measure([&] {
-          std::vector<const AddressBlock*> pools;
-          for (NodeId h : proto.clusters().heads()) {
-            pools.push_back(&proto.state_of(h).ip_space);
+  // Per-epoch samples of one round: [qip frags, qip contig, ctree frags,
+  // ctree contig] so cells fan across --jobs workers and merge in round
+  // order, keeping every mean byte-identical to the sequential run.
+  struct RoundResult {
+    std::vector<double> qf, qc, cf, cc;
+  };
+  run_cells<RoundResult>(
+      process_context(), jobs, rounds,
+      [&](std::size_t r, SimContext& ctx) {
+        RoundResult res;
+        // --- QIP -----------------------------------------------------------
+        {
+          WorldParams wp;
+          World w(wp, 777 + r, ctx);
+          QipParams qp;
+          qp.pool_size = 1024;
+          QipEngine proto(w.transport(), w.rng(), qp);
+          proto.start_hello();
+          Driver d(w, proto);
+          d.join(kNodes);
+          w.run_for(3.0);
+          for (int e = 0; e < kEpochs; ++e) {
+            churn_epoch(w, d, proto, w.rng());
+            const FragStats f = measure([&] {
+              std::vector<const AddressBlock*> pools;
+              for (NodeId h : proto.clusters().heads()) {
+                pools.push_back(&proto.state_of(h).ip_space);
+              }
+              return pools;
+            });
+            res.qf.push_back(f.fragments_per_head);
+            res.qc.push_back(f.contiguity);
           }
-          return pools;
-        });
-        qf[static_cast<std::size_t>(e)].add(f.fragments_per_head);
-        qc[static_cast<std::size_t>(e)].add(f.contiguity);
-      }
-    }
-    // --- C-tree -------------------------------------------------------------
-    {
-      WorldParams wp;
-      World w(wp, 777 + r);
-      CTreeParams cp;
-      cp.pool_size = 1024;
-      CTreeProtocol proto(w.transport(), w.rng(), cp);
-      proto.start_updates();
-      Driver d(w, proto);
-      d.join(kNodes);
-      w.run_for(3.0);
-      for (int e = 0; e < kEpochs; ++e) {
-        churn_epoch(w, d, proto, w.rng());
-        // Coordinators' pools via the public surface: sample every member
-        // and query the protocol for its pool size is not exposed; use the
-        // visible_space API per coordinator plus block introspection kept
-        // for tests.  The C-tree keeps pools private, so approximate the
-        // fragment count from the census the protocol exposes.
-        RunningStats frags, contig;
-        for (NodeId id : d.members()) {
-          if (!proto.is_coordinator(id)) continue;
-          const auto pool = proto.pool_of(id);
-          if (pool.empty()) continue;
-          const FragStats f = frag_of(pool);
-          frags.add(f.fragments_per_head);
-          contig.add(f.contiguity);
         }
-        cf[static_cast<std::size_t>(e)].add(frags.mean());
-        cc[static_cast<std::size_t>(e)].add(contig.empty() ? 1.0
-                                                           : contig.mean());
-      }
-    }
-  }
+        // --- C-tree ---------------------------------------------------------
+        {
+          WorldParams wp;
+          World w(wp, 777 + r, ctx);
+          CTreeParams cp;
+          cp.pool_size = 1024;
+          CTreeProtocol proto(w.transport(), w.rng(), cp);
+          proto.start_updates();
+          Driver d(w, proto);
+          d.join(kNodes);
+          w.run_for(3.0);
+          for (int e = 0; e < kEpochs; ++e) {
+            churn_epoch(w, d, proto, w.rng());
+            // Coordinators' pools via the public surface: sample every member
+            // and query the protocol for its pool size is not exposed; use the
+            // visible_space API per coordinator plus block introspection kept
+            // for tests.  The C-tree keeps pools private, so approximate the
+            // fragment count from the census the protocol exposes.
+            RunningStats frags, contig;
+            for (NodeId id : d.members()) {
+              if (!proto.is_coordinator(id)) continue;
+              const auto pool = proto.pool_of(id);
+              if (pool.empty()) continue;
+              const FragStats f = frag_of(pool);
+              frags.add(f.fragments_per_head);
+              contig.add(f.contiguity);
+            }
+            res.cf.push_back(frags.mean());
+            res.cc.push_back(contig.empty() ? 1.0 : contig.mean());
+          }
+        }
+        return res;
+      },
+      [&](std::size_t, RoundResult&& res) {
+        for (int e = 0; e < kEpochs; ++e) {
+          const auto i = static_cast<std::size_t>(e);
+          qf[i].add(res.qf[i]);
+          qc[i].add(res.qc[i]);
+          cf[i].add(res.cf[i]);
+          cc[i].add(res.cc[i]);
+        }
+      });
 
   for (int e = 0; e < kEpochs; ++e) {
     const auto i = static_cast<std::size_t>(e);

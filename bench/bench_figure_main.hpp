@@ -4,18 +4,43 @@
 // series the paper plots, as an aligned table.  QIP_ROUNDS in the
 // environment raises the number of rounds per data point (default is small
 // so the whole suite finishes in minutes; the paper used 1000).
+//
+// Replication parallelism: --jobs N (or QIP_JOBS) fans the (x, round) cells
+// across N worker threads.  The output is byte-identical for every value —
+// the point of the deterministic runner — so the table deliberately never
+// mentions which jobs count produced it.
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 
+#include "harness/env.hpp"
 #include "harness/figures.hpp"
+#include "harness/parallel.hpp"
 
 namespace qip::benchmain {
 
-inline int run(FigureData (*figure)(const ExperimentOptions&),
+/// Parses --jobs N / --jobs=N, falling back to QIP_JOBS, then `fallback`.
+inline std::uint32_t jobs_from_args(int argc, const char* const* argv,
+                                    std::uint32_t fallback = 1) {
+  std::uint32_t jobs = jobs_from_env(fallback);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      jobs = parse_positive_u32("--jobs", argv[i + 1]);
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      jobs = parse_positive_u32("--jobs", arg + 7);
+    }
+  }
+  return jobs;
+}
+
+inline int run(FigureData (*figure)(const ExperimentOptions&), int argc = 0,
+               const char* const* argv = nullptr,
                std::uint32_t default_rounds = 3) {
   ExperimentOptions opt;
   opt.rounds = rounds_from_env(default_rounds);
+  opt.jobs = jobs_from_args(argc, argv);
   const FigureData fig = figure(opt);
   std::printf("%s", fig.render().c_str());
   std::printf("(rounds per point: %u; set QIP_ROUNDS to raise)\n\n",

@@ -1,4 +1,6 @@
 // Regenerates fig13 of Xu & Wu, ICDCS'07 (see harness/figures.hpp).
 #include "bench_figure_main.hpp"
 
-int main() { return qip::benchmain::run(&qip::fig13_info_loss); }
+int main(int argc, char** argv) {
+  return qip::benchmain::run(&qip::fig13_info_loss, argc, argv);
+}

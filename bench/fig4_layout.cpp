@@ -2,9 +2,13 @@
 // layout (100 nodes, 1 km x 1 km) after clustering, as an ASCII map.
 #include <cstdio>
 
+#include "bench_figure_main.hpp"
 #include "harness/figures.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  // A single layout has no replication to fan out, but --jobs/QIP_JOBS are
+  // still validated so the whole figure suite accepts a uniform invocation.
+  (void)qip::benchmain::jobs_from_args(argc, argv);
   const qip::LayoutStats layout = qip::fig4_layout(/*seed=*/7, 100, 150.0);
   std::printf("== Fig 4: random 100-node layout (1km x 1km, tr=150m) ==\n");
   std::printf("'#' = cluster head, 'o' = common node\n%s",

@@ -1,4 +1,6 @@
 // Regenerates fig7 of Xu & Wu, ICDCS'07 (see harness/figures.hpp).
 #include "bench_figure_main.hpp"
 
-int main() { return qip::benchmain::run(&qip::fig7_latency_grid); }
+int main(int argc, char** argv) {
+  return qip::benchmain::run(&qip::fig7_latency_grid, argc, argv);
+}

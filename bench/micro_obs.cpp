@@ -19,7 +19,7 @@ namespace {
 /// must hand it back disabled and empty.
 struct TraceOff {
   ~TraceOff() {
-    auto& rec = obs::TraceRecorder::instance();
+    auto& rec = obs::process_recorder();
     rec.disable();
     rec.clear();
   }
@@ -28,7 +28,7 @@ struct TraceOff {
 }  // namespace
 
 static void BM_InstantDisabled(benchmark::State& state) {
-  auto& rec = obs::TraceRecorder::instance();
+  auto& rec = obs::process_recorder();
   rec.disable();
   for (auto _ : state) {
     // The exact shape of every instrumentation site: one guarded call.
@@ -43,7 +43,7 @@ BENCHMARK(BM_InstantDisabled);
 
 static void BM_InstantEnabled(benchmark::State& state) {
   TraceOff guard;
-  auto& rec = obs::TraceRecorder::instance();
+  auto& rec = obs::process_recorder();
   rec.enable();
   rec.clear();
   for (auto _ : state) {
@@ -59,7 +59,7 @@ BENCHMARK(BM_InstantEnabled);
 
 static void BM_SpanEnabled(benchmark::State& state) {
   TraceOff guard;
-  auto& rec = obs::TraceRecorder::instance();
+  auto& rec = obs::process_recorder();
   rec.enable();
   rec.clear();
   for (auto _ : state) {
@@ -93,7 +93,7 @@ BENCHMARK(BM_MetricsCounterLookup);
 /// tracing off vs on.  Arg(0)=off, Arg(1)=on.
 static void BM_BringupTraced(benchmark::State& state) {
   TraceOff guard;
-  auto& rec = obs::TraceRecorder::instance();
+  auto& rec = obs::process_recorder();
   const bool traced = state.range(0) != 0;
   for (auto _ : state) {
     if (traced) {

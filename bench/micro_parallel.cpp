@@ -1,0 +1,55 @@
+// Scaling microbench for the deterministic parallel runner: the same fixed
+// grid of replication cells (QIP bring-up worlds) at 1/2/4/8 workers.
+// Wall-clock time (UseRealTime) is the honest metric — worker threads do
+// the simulating, so main-thread CPU time would report nearly nothing.
+//
+// QIP_ROUNDS sets the cell count (default 8; the acceptance run uses 20).
+// Speedup is bounded by the machine: on a single-core container every jobs
+// value reports the same time, by design — the runner trades nothing for
+// determinism, it only adds merge ordering.
+#include <benchmark/benchmark.h>
+
+#include "core/qip_engine.hpp"
+#include "harness/driver.hpp"
+#include "harness/figures.hpp"
+#include "harness/parallel.hpp"
+#include "harness/world.hpp"
+#include "sim/sim_context.hpp"
+
+using namespace qip;
+
+static void BM_ParallelCells(benchmark::State& state) {
+  const auto jobs = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t cells = rounds_from_env(8);
+  double checksum = 0.0;
+  for (auto _ : state) {
+    double acc = 0.0;
+    run_cells<double>(
+        process_context(), jobs, cells,
+        [](std::size_t idx, SimContext& ctx) {
+          World w({}, /*seed=*/100 + idx, ctx);
+          QipEngine proto(w.transport(), w.rng(), QipParams{});
+          proto.start_hello();
+          Driver d(w, proto);
+          d.join(60);
+          w.run_for(5.0);
+          return d.mean_config_latency();
+        },
+        [&](std::size_t, double&& v) { acc += v; });
+    benchmark::DoNotOptimize(acc);
+    checksum = acc;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          cells);
+  // Same cells, same seeds: every jobs value must agree on the merged sum.
+  state.counters["checksum"] = checksum;
+}
+BENCHMARK(BM_ParallelCells)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

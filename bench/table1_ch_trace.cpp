@@ -4,13 +4,17 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_figure_main.hpp"
 #include "core/qip_engine.hpp"
 #include "harness/driver.hpp"
 #include "harness/world.hpp"
 
 using namespace qip;
 
-int main() {
+int main(int argc, char** argv) {
+  // One traced exchange — nothing to replicate, but --jobs/QIP_JOBS are
+  // still validated for a uniform figure-suite invocation.
+  (void)benchmain::jobs_from_args(argc, argv);
   WorldParams wp;
   wp.transmission_range = 200.0;
   World world(wp, /*seed=*/11);

@@ -83,7 +83,7 @@ Row run_scenario(const std::string& name, MakeProto&& make) {
   }
   // Fresh metric values per protocol so ProfileScope histograms and exported
   // counters describe this run alone (handles stay valid across resets).
-  obs::MetricsRegistry::instance().reset_values();
+  obs::process_metrics().reset_values();
   WorldParams wp;
   wp.transmission_range = 150.0;
   World world(wp, g_seed);
@@ -111,7 +111,7 @@ Row run_scenario(const std::string& name, MakeProto&& make) {
   if (trace.active()) {
     // Summarize from the live ring before dumping: identical numbers to
     // `qip-trace summary <file>`, minus the nondeterministic wall section.
-    const auto parsed = obs::to_parsed(obs::TraceRecorder::instance().events());
+    const auto parsed = obs::to_parsed(obs::process_recorder().events());
     row.trace_summary =
         obs::render_summary(obs::summarize(parsed), /*include_wall=*/false);
     row.trace_file = trace_file;

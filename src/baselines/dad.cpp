@@ -1,6 +1,6 @@
 #include "baselines/dad.hpp"
 
-#include "obs/trace_recorder.hpp"
+#include "sim/sim_context.hpp"
 #include "util/assert.hpp"
 
 namespace qip {
@@ -74,8 +74,8 @@ void DadProtocol::areq_round(NodeId id) {
   }
 
   ++st.floods_done;
-  if (obs::tracing_on()) {
-    obs::TraceRecorder::instance().instant(
+  if (ctx().tracing_on()) {
+    ctx().recorder().instant(
         sim().now(), "AREQ", "dad", id,
         {{"pick", st.picks}, {"round", st.floods_done}});
   }
@@ -90,9 +90,9 @@ void DadProtocol::areq_round(NodeId id) {
         auto& ns = node(n);
         if (!ns.configured || ns.ip != candidate) return;
         // AREP: the holder defends its address.
-        if (obs::tracing_on()) {
-          obs::TraceRecorder::instance().instant(sim().now(), "AREP", "dad", n,
-                                                 {{"to", id}});
+        if (ctx().tracing_on()) {
+          ctx().recorder().instant(sim().now(), "AREP", "dad", n,
+                                   {{"to", id}});
         }
         transport().unicast(n, id, Traffic::kConfiguration,
                             [this, id](NodeId, std::uint32_t) {

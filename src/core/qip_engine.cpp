@@ -6,7 +6,7 @@
 #include <algorithm>
 #include <sstream>
 
-#include "obs/trace_recorder.hpp"
+#include "sim/sim_context.hpp"
 #include "quorum/dynamic_linear.hpp"
 #include "util/logging.hpp"
 
@@ -25,9 +25,10 @@ const char* vote_label(Vote v) {
 /// Closes the transaction's open "quorum_round" span, if any.  Safe to call
 /// on every resolution path: a round that never opened a span (tracing off,
 /// or failed before forming a group) is a no-op.
-void obs_close_round(double now, ConfigTxn& txn, const char* result) {
+void obs_close_round(obs::TraceRecorder& rec, double now, ConfigTxn& txn,
+                     const char* result) {
   if (txn.obs_round_span == 0) return;
-  obs::TraceRecorder::instance().end_span(
+  rec.end_span(
       now, txn.obs_round_span, "quorum_round", "qip", txn.allocator,
       {{"result", result},
        {"confirms", txn.confirms},
@@ -152,8 +153,8 @@ void QipEngine::trace(QipMsg msg, NodeId from, NodeId to, std::uint32_t hops,
   // Mirror every protocol message into the structured trace: name = the
   // paper's message vocabulary, so `qip-trace summary` reports the same mix
   // Table 1 does.
-  if (obs::tracing_on()) {
-    obs::TraceRecorder::instance().instant(sim().now(), to_string(msg), "qip",
+  if (ctx().tracing_on()) {
+    ctx().recorder().instant(sim().now(), to_string(msg), "qip",
                                            from, {{"to", to}, {"hops", hops}});
   }
   if (!trace_) return;
@@ -335,8 +336,8 @@ void QipEngine::become_first_head(NodeId id) {
   rec.attempts = params_.max_r;
   rec.completed_at = sim().now();
   ++config_successes_;
-  if (obs::tracing_on()) {
-    obs::TraceRecorder::instance().instant(
+  if (ctx().tracing_on()) {
+    ctx().recorder().instant(
         sim().now(), "head_elected", "cluster", id,
         {{"first", std::uint32_t{1}},
          {"universe", static_cast<std::uint64_t>(st.owned_universe.size())}});
@@ -392,8 +393,8 @@ void QipEngine::begin_txn(NodeId allocator, const PendingRequest& req) {
   QIP_ASSERT(inserted);
   ConfigTxn& t = it->second;
 
-  if (obs::tracing_on()) {
-    t.obs_span = obs::TraceRecorder::instance().begin_span(
+  if (ctx().tracing_on()) {
+    t.obs_span = ctx().recorder().begin_span(
         sim().now(), "config_txn", "qip", allocator,
         {{"txn", id},
          {"requestor", req.requestor},
@@ -604,11 +605,11 @@ void QipEngine::start_quorum_round(ConfigTxn& txn) {
   txn.outstanding = 0;
   const std::uint64_t id = txn.id;
   const std::uint32_t round = txn.round;
-  if (obs::tracing_on()) {
+  if (ctx().tracing_on()) {
     // Child span of "config_txn": same txn id arg ties them together; the
     // QDSet state rides along so a trace shows how the voting group evolved
     // across rounds (quorum adjustment, §V-B).
-    txn.obs_round_span = obs::TraceRecorder::instance().begin_span(
+    txn.obs_round_span = ctx().recorder().begin_span(
         sim().now(), "quorum_round", "qip", txn.allocator,
         {{"txn", id},
          {"round", round},
@@ -725,8 +726,8 @@ void QipEngine::handle_vote(std::uint64_t txn_id, std::uint32_t round,
   if (voter != kNoNode) {
     QIP_ASSERT(txn.outstanding > 0);
     --txn.outstanding;
-    if (obs::tracing_on()) {
-      obs::TraceRecorder::instance().instant(
+    if (ctx().tracing_on()) {
+      ctx().recorder().instant(
           sim().now(), "vote", "quorum", voter,
           {{"txn", txn_id}, {"round", round}, {"vote", vote_label(vote)}});
     }
@@ -750,7 +751,7 @@ void QipEngine::handle_vote(std::uint64_t txn_id, std::uint32_t round,
   const std::uint32_t yes = txn.confirms + 1;  // + our own copy
   if (yes >= quorum_needed(txn)) {
     txn.commit_hops = std::max(txn.base_hops, hops_so_far);
-    obs_close_round(sim().now(), txn, "quorum");
+    obs_close_round(ctx().recorder(), sim().now(), txn, "quorum");
     commit_config(txn);
     return;
   }
@@ -760,7 +761,8 @@ void QipEngine::handle_vote(std::uint64_t txn_id, std::uint32_t round,
 }
 
 void QipEngine::round_failed(ConfigTxn& txn, bool conflict) {
-  obs_close_round(sim().now(), txn, conflict ? "conflict" : "busy");
+  obs_close_round(ctx().recorder(), sim().now(), txn,
+                  conflict ? "conflict" : "busy");
   release_grants(txn);
   auto& a = node(txn.allocator);
 
@@ -1003,8 +1005,8 @@ void QipEngine::complete_head(NodeId id, NodeId allocator, AddressBlock block,
   rec.completed_at = sim().now();
   ++config_successes_;
 
-  if (obs::tracing_on()) {
-    obs::TraceRecorder::instance().instant(
+  if (ctx().tracing_on()) {
+    ctx().recorder().instant(
         sim().now(), "head_elected", "cluster", id,
         {{"first", std::uint32_t{0}},
          {"universe", static_cast<std::uint64_t>(st.owned_universe.size())},
@@ -1031,9 +1033,9 @@ void QipEngine::end_txn(ConfigTxn& txn) {
   const NodeId allocator = txn.allocator;
   txn.retry_timer.cancel();
   // A round abandoned without resolving (txn timeout) closes here.
-  obs_close_round(sim().now(), txn, "abort");
+  obs_close_round(ctx().recorder(), sim().now(), txn, "abort");
   if (txn.obs_span != 0) {
-    obs::TraceRecorder::instance().end_span(
+    ctx().recorder().end_span(
         sim().now(), txn.obs_span, "config_txn", "qip", allocator,
         {{"outcome", txn.obs_outcome},
          {"attempts", txn.attempt},

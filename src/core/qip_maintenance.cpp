@@ -4,7 +4,7 @@
 
 #include <algorithm>
 
-#include "obs/trace_recorder.hpp"
+#include "sim/sim_context.hpp"
 #include "util/logging.hpp"
 
 namespace qip {
@@ -39,10 +39,10 @@ void QipEngine::hello_tick() {
   }
   if (beacons > 0) {
     transport().stats().record(Traffic::kHello, beacons, beacons);
-    if (obs::tracing_on()) {
+    if (ctx().tracing_on()) {
       // Hellos are aggregated per tick, not sent individually; mirror the
       // aggregate so the trace's message mix covers beacon traffic too.
-      obs::TraceRecorder::instance().instant(
+      ctx().recorder().instant(
           sim().now(), "hello", "net", 0,
           {{"traffic", "hello"}, {"hops", beacons}, {"count", beacons}});
     }
@@ -343,8 +343,8 @@ void QipEngine::start_reclamation(NodeId initiator, NodeId dead_head) {
   rec.settle_timer = sim().after(params_.reclaim_settle, [this, dead_head] {
     finish_reclamation(dead_head);
   });
-  if (obs::tracing_on()) {
-    rec.obs_span = obs::TraceRecorder::instance().begin_span(
+  if (ctx().tracing_on()) {
+    rec.obs_span = ctx().recorder().begin_span(
         sim().now(), "reclamation", "qip", initiator,
         {{"dead_head", dead_head}});
   }
@@ -403,7 +403,7 @@ void QipEngine::finish_reclamation(NodeId dead_head) {
 
   auto close_span = [&](const char* result) {
     if (txn.obs_span == 0) return;
-    obs::TraceRecorder::instance().end_span(
+    ctx().recorder().end_span(
         sim().now(), txn.obs_span, "reclamation", "qip", txn.initiator,
         {{"result", result},
          {"claims", static_cast<std::uint64_t>(txn.claims.size())}});

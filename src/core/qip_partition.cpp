@@ -8,7 +8,7 @@
 // head regains the full pool and starts a fresh network for its members.
 #include "core/qip_engine.hpp"
 
-#include "obs/trace_recorder.hpp"
+#include "sim/sim_context.hpp"
 #include "util/logging.hpp"
 
 namespace qip {
@@ -74,8 +74,8 @@ void QipEngine::heal_partition(NodeId detector) {
   // the freshest timestamp; losing holders reconfigure.
   ++merges_handled_;
   if (!topology().has_node(detector)) return;
-  if (obs::tracing_on()) {
-    obs::TraceRecorder::instance().instant(sim().now(), "partition_heal",
+  if (ctx().tracing_on()) {
+    ctx().recorder().instant(sim().now(), "partition_heal",
                                            "cluster", detector);
   }
   transport().flood_component(detector, Traffic::kPartition,
@@ -220,8 +220,8 @@ void QipEngine::absorb_network(NodeId detector, NetworkId winner_id,
       losers.push_back(id);
   }
   if (losers.empty()) return;
-  if (obs::tracing_on()) {
-    obs::TraceRecorder::instance().instant(
+  if (ctx().tracing_on()) {
+    ctx().recorder().instant(
         sim().now(), "network_merge", "cluster", detector,
         {{"losers", static_cast<std::uint64_t>(losers.size())}});
   }
@@ -259,8 +259,8 @@ void QipEngine::isolated_head_recovery(NodeId head) {
   auto& st = node(head);
   QIP_ASSERT(st.role == Role::kClusterHead);
   QIP_INFO << "head " << head << " isolated; restarting as a fresh network";
-  if (obs::tracing_on()) {
-    obs::TraceRecorder::instance().instant(sim().now(), "isolated_head_recovery",
+  if (ctx().tracing_on()) {
+    ctx().recorder().instant(sim().now(), "isolated_head_recovery",
                                            "cluster", head);
   }
 

@@ -165,7 +165,7 @@ struct ConfigTxn {
   EventHandle retry_timer;
 
   /// Observability: open trace-span ids (0 = none) and the outcome label the
-  /// transaction span closes with.  Written only behind obs::tracing_on().
+  /// transaction span closes with.  Written only behind ctx().tracing_on().
   std::uint64_t obs_span = 0;        ///< "config_txn" parent span
   std::uint64_t obs_round_span = 0;  ///< current "quorum_round" child span
   const char* obs_outcome = "handoff";

@@ -1,6 +1,5 @@
 #include "harness/figures.hpp"
 
-#include <cstdlib>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -10,7 +9,10 @@
 #include "baselines/manetconf.hpp"
 #include "core/qip_engine.hpp"
 #include "harness/driver.hpp"
+#include "harness/env.hpp"
+#include "harness/parallel.hpp"
 #include "harness/world.hpp"
+#include "sim/sim_context.hpp"
 #include "util/stats.hpp"
 
 namespace qip {
@@ -18,14 +20,6 @@ namespace qip {
 namespace {
 
 constexpr std::uint64_t kPoolSize = 1024;
-
-/// Seed for (figure seed, x index, round) — independent of execution order.
-std::uint64_t derive_seed(std::uint64_t base, std::uint64_t xi,
-                          std::uint64_t round) {
-  SplitMix64 sm(base ^ (0x9e3779b97f4a7c15ULL * (xi + 1)) ^
-                (0xd1342543de82ef95ULL * (round + 1)));
-  return sm.next();
-}
 
 std::unique_ptr<QipEngine> make_qip(World& w, bool periodic_updates = true) {
   QipParams p;
@@ -66,11 +60,55 @@ std::unique_ptr<CTreeProtocol> make_ctree(World& w) {
   return proto;
 }
 
-World make_world(double tr, double speed, std::uint64_t seed) {
+World make_world(double tr, double speed, std::uint64_t seed,
+                 SimContext& ctx) {
   WorldParams wp;
   wp.transmission_range = tr;
   wp.speed = speed;
-  return World(wp, seed);
+  return World(wp, seed, ctx);
+}
+
+World make_world(double tr, double speed, std::uint64_t seed) {
+  return make_world(tr, speed, seed, process_context());
+}
+
+/// One cell's contribution: a variable-length sample list per series.
+/// Variable length because some figures add conditionally (fig12's ratio
+/// guard, fig13's resamples, fig14's killed-head guard).
+using CellSamples = std::vector<std::vector<double>>;
+
+/// Runs one cell per (x index, round) via the parallel runner and folds the
+/// samples into per-series, per-x RunningStats in ascending (x, round)
+/// order — the exact accumulation order of the historical nested loops, so
+/// the figure tables are byte-identical for every jobs value.
+template <typename CellFn>
+std::vector<std::vector<RunningStats>> run_figure(const ExperimentOptions& opt,
+                                                  std::size_t nx,
+                                                  std::size_t nseries,
+                                                  CellFn&& cell) {
+  std::vector<std::vector<RunningStats>> stats(
+      nseries, std::vector<RunningStats>(nx));
+  const std::size_t rounds = opt.rounds;
+  run_cells<CellSamples>(
+      process_context(), opt.jobs, nx * rounds,
+      [&](std::size_t idx, SimContext& ctx) {
+        return cell(idx / rounds, static_cast<std::uint32_t>(idx % rounds),
+                    ctx);
+      },
+      [&](std::size_t idx, CellSamples&& samples) {
+        const std::size_t xi = idx / rounds;
+        for (std::size_t s = 0; s < nseries; ++s) {
+          for (double v : samples[s]) stats[s][xi].add(v);
+        }
+      });
+  return stats;
+}
+
+std::vector<double> means(const std::vector<RunningStats>& stats) {
+  std::vector<double> out;
+  out.reserve(stats.size());
+  for (const RunningStats& s : stats) out.push_back(s.mean());
+  return out;
 }
 
 /// Mixed graceful/abrupt departure of `count` random members (§VI-A).
@@ -92,10 +130,7 @@ void depart_mixed(World& w, Driver& d, Proto& proto, std::uint32_t count,
 }  // namespace
 
 std::uint32_t rounds_from_env(std::uint32_t fallback) {
-  const char* env = std::getenv("QIP_ROUNDS");
-  if (!env) return fallback;
-  const long v = std::strtol(env, nullptr, 10);
-  return v > 0 ? static_cast<std::uint32_t>(v) : fallback;
+  return env_positive_u32("QIP_ROUNDS", fallback);
 }
 
 // ---------------------------------------------------------------------------
@@ -107,8 +142,8 @@ namespace {
 /// Joins `nn` nodes and returns the mean configuration latency in hops.
 template <typename MakeProto>
 double measure_latency(double tr, std::uint32_t nn, std::uint64_t seed,
-                       MakeProto&& make_proto) {
-  World w = make_world(tr, 20.0, seed);
+                       SimContext& ctx, MakeProto&& make_proto) {
+  World w = make_world(tr, 20.0, seed, ctx);
   auto proto = make_proto(w);
   Driver d(w, *proto);
   d.join(nn);
@@ -123,21 +158,20 @@ FigureData fig5_config_latency(const ExperimentOptions& opt) {
   fig.title = "Fig 5: configuration latency vs network size (tr=150m)";
   fig.x_name = "nn";
   fig.x = {50, 100, 150, 200};
-  Series qip{"QIP", {}}, mc{"MANETconf", {}};
-  for (std::size_t xi = 0; xi < fig.x.size(); ++xi) {
-    const auto nn = static_cast<std::uint32_t>(fig.x[xi]);
-    RunningStats a, b;
-    for (std::uint32_t r = 0; r < opt.rounds; ++r) {
-      const std::uint64_t seed = derive_seed(opt.seed + 5, xi, r);
-      a.add(measure_latency(150.0, nn, seed,
-                            [](World& w) { return make_qip(w); }));
-      b.add(measure_latency(150.0, nn, seed,
-                            [](World& w) { return make_manetconf(w); }));
-    }
-    qip.y.push_back(a.mean());
-    mc.y.push_back(b.mean());
-  }
-  fig.series = {qip, mc};
+  const auto stats = run_figure(
+      opt, fig.x.size(), 2,
+      [&](std::size_t xi, std::uint32_t r, SimContext& ctx) {
+        const auto nn = static_cast<std::uint32_t>(fig.x[xi]);
+        const std::uint64_t seed = derive_cell_seed(opt.seed + 5, xi, r);
+        CellSamples out(2);
+        out[0].push_back(measure_latency(
+            150.0, nn, seed, ctx, [](World& w) { return make_qip(w); }));
+        out[1].push_back(measure_latency(
+            150.0, nn, seed, ctx, [](World& w) { return make_manetconf(w); }));
+        return out;
+      });
+  fig.series = {Series{"QIP", means(stats[0])},
+                Series{"MANETconf", means(stats[1])}};
   return fig;
 }
 
@@ -146,20 +180,20 @@ FigureData fig6_latency_vs_range(const ExperimentOptions& opt) {
   fig.title = "Fig 6: configuration latency vs transmission range (nn=100)";
   fig.x_name = "tr";
   fig.x = {100, 150, 200, 250};
-  Series qip{"QIP", {}}, mc{"MANETconf", {}};
-  for (std::size_t xi = 0; xi < fig.x.size(); ++xi) {
-    RunningStats a, b;
-    for (std::uint32_t r = 0; r < opt.rounds; ++r) {
-      const std::uint64_t seed = derive_seed(opt.seed + 6, xi, r);
-      a.add(measure_latency(fig.x[xi], 100, seed,
-                            [](World& w) { return make_qip(w); }));
-      b.add(measure_latency(fig.x[xi], 100, seed,
+  const auto stats = run_figure(
+      opt, fig.x.size(), 2,
+      [&](std::size_t xi, std::uint32_t r, SimContext& ctx) {
+        const std::uint64_t seed = derive_cell_seed(opt.seed + 6, xi, r);
+        CellSamples out(2);
+        out[0].push_back(measure_latency(
+            fig.x[xi], 100, seed, ctx, [](World& w) { return make_qip(w); }));
+        out[1].push_back(
+            measure_latency(fig.x[xi], 100, seed, ctx,
                             [](World& w) { return make_manetconf(w); }));
-    }
-    qip.y.push_back(a.mean());
-    mc.y.push_back(b.mean());
-  }
-  fig.series = {qip, mc};
+        return out;
+      });
+  fig.series = {Series{"QIP", means(stats[0])},
+                Series{"MANETconf", means(stats[1])}};
   return fig;
 }
 
@@ -169,19 +203,23 @@ FigureData fig7_latency_grid(const ExperimentOptions& opt) {
   fig.x_name = "nn";
   fig.x = {50, 100, 150, 200};
   const std::vector<double> ranges = {100, 150, 200, 250};
-  for (double tr : ranges) {
-    Series s{"tr=" + format_double(tr, 0), {}};
-    for (std::size_t xi = 0; xi < fig.x.size(); ++xi) {
-      RunningStats stats;
-      for (std::uint32_t r = 0; r < opt.rounds; ++r) {
-        const std::uint64_t seed =
-            derive_seed(opt.seed + 7 + static_cast<std::uint64_t>(tr), xi, r);
-        stats.add(measure_latency(tr, static_cast<std::uint32_t>(fig.x[xi]),
-                                  seed, [](World& w) { return make_qip(w); }));
-      }
-      s.y.push_back(stats.mean());
-    }
-    fig.series.push_back(std::move(s));
+  const auto stats = run_figure(
+      opt, fig.x.size(), ranges.size(),
+      [&](std::size_t xi, std::uint32_t r, SimContext& ctx) {
+        const auto nn = static_cast<std::uint32_t>(fig.x[xi]);
+        CellSamples out(ranges.size());
+        for (std::size_t ti = 0; ti < ranges.size(); ++ti) {
+          const double tr = ranges[ti];
+          const std::uint64_t seed = derive_cell_seed(
+              opt.seed + 7 + static_cast<std::uint64_t>(tr), xi, r);
+          out[ti].push_back(measure_latency(
+              tr, nn, seed, ctx, [](World& w) { return make_qip(w); }));
+        }
+        return out;
+      });
+  for (std::size_t ti = 0; ti < ranges.size(); ++ti) {
+    fig.series.push_back(
+        Series{"tr=" + format_double(ranges[ti], 0), means(stats[ti])});
   }
   return fig;
 }
@@ -199,8 +237,8 @@ struct OverheadResult {
 
 template <typename MakeProto>
 OverheadResult measure_overhead(std::uint32_t nn, std::uint64_t seed,
-                                MakeProto&& make_proto) {
-  World w = make_world(150.0, 20.0, seed);
+                                SimContext& ctx, MakeProto&& make_proto) {
+  World w = make_world(150.0, 20.0, seed, ctx);
   auto proto = make_proto(w);
   Driver d(w, *proto);
 
@@ -233,21 +271,24 @@ FigureData fig8_config_overhead(const ExperimentOptions& opt) {
   fig.title = "Fig 8: configuration overhead vs network size (hops/node)";
   fig.x_name = "nn";
   fig.x = {50, 100, 150, 200};
-  Series qip{"QIP", {}}, buddy{"Buddy[2]", {}};
-  for (std::size_t xi = 0; xi < fig.x.size(); ++xi) {
-    const auto nn = static_cast<std::uint32_t>(fig.x[xi]);
-    RunningStats a, b;
-    for (std::uint32_t r = 0; r < opt.rounds; ++r) {
-      const std::uint64_t seed = derive_seed(opt.seed + 8, xi, r);
-      a.add(measure_overhead(nn, seed, [](World& w) { return make_qip(w); })
+  const auto stats = run_figure(
+      opt, fig.x.size(), 2,
+      [&](std::size_t xi, std::uint32_t r, SimContext& ctx) {
+        const auto nn = static_cast<std::uint32_t>(fig.x[xi]);
+        const std::uint64_t seed = derive_cell_seed(opt.seed + 8, xi, r);
+        CellSamples out(2);
+        out[0].push_back(
+            measure_overhead(nn, seed, ctx,
+                             [](World& w) { return make_qip(w); })
                 .config_per_node);
-      b.add(measure_overhead(nn, seed, [](World& w) { return make_buddy(w); })
+        out[1].push_back(
+            measure_overhead(nn, seed, ctx,
+                             [](World& w) { return make_buddy(w); })
                 .config_per_node);
-    }
-    qip.y.push_back(a.mean());
-    buddy.y.push_back(b.mean());
-  }
-  fig.series = {qip, buddy};
+        return out;
+      });
+  fig.series = {Series{"QIP", means(stats[0])},
+                Series{"Buddy[2]", means(stats[1])}};
   return fig;
 }
 
@@ -256,21 +297,24 @@ FigureData fig9_departure_overhead(const ExperimentOptions& opt) {
   fig.title = "Fig 9: departure overhead vs network size (hops/departure)";
   fig.x_name = "nn";
   fig.x = {50, 100, 150, 200};
-  Series qip{"QIP", {}}, buddy{"Buddy[2]", {}};
-  for (std::size_t xi = 0; xi < fig.x.size(); ++xi) {
-    const auto nn = static_cast<std::uint32_t>(fig.x[xi]);
-    RunningStats a, b;
-    for (std::uint32_t r = 0; r < opt.rounds; ++r) {
-      const std::uint64_t seed = derive_seed(opt.seed + 9, xi, r);
-      a.add(measure_overhead(nn, seed, [](World& w) { return make_qip(w); })
+  const auto stats = run_figure(
+      opt, fig.x.size(), 2,
+      [&](std::size_t xi, std::uint32_t r, SimContext& ctx) {
+        const auto nn = static_cast<std::uint32_t>(fig.x[xi]);
+        const std::uint64_t seed = derive_cell_seed(opt.seed + 9, xi, r);
+        CellSamples out(2);
+        out[0].push_back(
+            measure_overhead(nn, seed, ctx,
+                             [](World& w) { return make_qip(w); })
                 .departure_per_node);
-      b.add(measure_overhead(nn, seed, [](World& w) { return make_buddy(w); })
+        out[1].push_back(
+            measure_overhead(nn, seed, ctx,
+                             [](World& w) { return make_buddy(w); })
                 .departure_per_node);
-    }
-    qip.y.push_back(a.mean());
-    buddy.y.push_back(b.mean());
-  }
-  fig.series = {qip, buddy};
+        return out;
+      });
+  fig.series = {Series{"QIP", means(stats[0])},
+                Series{"Buddy[2]", means(stats[1])}};
   return fig;
 }
 
@@ -287,9 +331,9 @@ struct MaintenanceResult {
 
 template <typename MakeProto>
 MaintenanceResult measure_maintenance(std::uint32_t nn, double speed,
-                                      std::uint64_t seed,
+                                      std::uint64_t seed, SimContext& ctx,
                                       MakeProto&& make_proto) {
-  World w = make_world(150.0, speed, seed);
+  World w = make_world(150.0, speed, seed, ctx);
   auto proto = make_proto(w);
   Driver d(w, *proto);
   d.join(nn);
@@ -327,28 +371,29 @@ FigureData fig10_maintenance(const ExperimentOptions& opt) {
       "Fig 10: maintenance overhead (movement+departure) vs nn, 20 m/s";
   fig.x_name = "nn";
   fig.x = {50, 100, 150, 200};
-  Series periodic{"QIP periodic", {}}, uponleave{"QIP upon-leave", {}},
-      ctree{"C-tree[3]", {}};
-  for (std::size_t xi = 0; xi < fig.x.size(); ++xi) {
-    const auto nn = static_cast<std::uint32_t>(fig.x[xi]);
-    RunningStats a, b, c;
-    for (std::uint32_t r = 0; r < opt.rounds; ++r) {
-      const std::uint64_t seed = derive_seed(opt.seed + 10, xi, r);
-      a.add(measure_maintenance(nn, 20.0, seed,
+  const auto stats = run_figure(
+      opt, fig.x.size(), 3,
+      [&](std::size_t xi, std::uint32_t r, SimContext& ctx) {
+        const auto nn = static_cast<std::uint32_t>(fig.x[xi]);
+        const std::uint64_t seed = derive_cell_seed(opt.seed + 10, xi, r);
+        CellSamples out(3);
+        out[0].push_back(
+            measure_maintenance(nn, 20.0, seed, ctx,
                                 [](World& w) { return make_qip(w, true); })
                 .per_node);
-      b.add(measure_maintenance(nn, 20.0, seed,
+        out[1].push_back(
+            measure_maintenance(nn, 20.0, seed, ctx,
                                 [](World& w) { return make_qip(w, false); })
                 .per_node);
-      c.add(measure_maintenance(nn, 20.0, seed,
+        out[2].push_back(
+            measure_maintenance(nn, 20.0, seed, ctx,
                                 [](World& w) { return make_ctree(w); })
                 .per_node);
-    }
-    periodic.y.push_back(a.mean());
-    uponleave.y.push_back(b.mean());
-    ctree.y.push_back(c.mean());
-  }
-  fig.series = {periodic, uponleave, ctree};
+        return out;
+      });
+  fig.series = {Series{"QIP periodic", means(stats[0])},
+                Series{"QIP upon-leave", means(stats[1])},
+                Series{"C-tree[3]", means(stats[2])}};
   return fig;
 }
 
@@ -357,22 +402,23 @@ FigureData fig11_speed(const ExperimentOptions& opt) {
   fig.title = "Fig 11: movement overhead vs node speed (nn=150)";
   fig.x_name = "speed";
   fig.x = {5, 10, 20, 30, 40};
-  Series periodic{"QIP periodic", {}}, uponleave{"QIP upon-leave", {}};
-  for (std::size_t xi = 0; xi < fig.x.size(); ++xi) {
-    RunningStats a, b;
-    for (std::uint32_t r = 0; r < opt.rounds; ++r) {
-      const std::uint64_t seed = derive_seed(opt.seed + 11, xi, r);
-      a.add(measure_maintenance(150, fig.x[xi], seed,
+  const auto stats = run_figure(
+      opt, fig.x.size(), 2,
+      [&](std::size_t xi, std::uint32_t r, SimContext& ctx) {
+        const std::uint64_t seed = derive_cell_seed(opt.seed + 11, xi, r);
+        CellSamples out(2);
+        out[0].push_back(
+            measure_maintenance(150, fig.x[xi], seed, ctx,
                                 [](World& w) { return make_qip(w, true); })
                 .movement_total);
-      b.add(measure_maintenance(150, fig.x[xi], seed,
+        out[1].push_back(
+            measure_maintenance(150, fig.x[xi], seed, ctx,
                                 [](World& w) { return make_qip(w, false); })
                 .movement_total);
-    }
-    periodic.y.push_back(a.mean());
-    uponleave.y.push_back(b.mean());
-  }
-  fig.series = {periodic, uponleave};
+        return out;
+      });
+  fig.series = {Series{"QIP periodic", means(stats[0])},
+                Series{"QIP upon-leave", means(stats[1])}};
   return fig;
 }
 
@@ -388,40 +434,43 @@ FigureData fig12_quorum_space(const ExperimentOptions& opt) {
   fig.x_name = "nn";
   fig.x = {50, 100, 150, 200};
   const std::vector<double> ranges = {100, 150, 200};
-  for (double tr : ranges) {
-    Series s{"tr=" + format_double(tr, 0), {}};
-    for (std::size_t xi = 0; xi < fig.x.size(); ++xi) {
-      const auto nn = static_cast<std::uint32_t>(fig.x[xi]);
-      RunningStats ratio;
-      for (std::uint32_t r = 0; r < opt.rounds; ++r) {
-        const std::uint64_t seed =
-            derive_seed(opt.seed + 12 + static_cast<std::uint64_t>(tr), xi, r);
-        // Static layouts: the visible-space ratio is a structural property
-        // of the cluster/QDSet graph, best measured without mobility noise.
-        DriverOptions dopt;
-        dopt.mobility = false;
-        double qip_space = 0.0, ctree_space = 0.0;
-        {
-          World w = make_world(tr, 0.0, seed);
-          auto proto = make_qip(w);
-          Driver d(w, *proto, dopt);
-          d.join(nn);
-          w.run_for(5.0);
-          qip_space = proto->average_visible_space();
+  const auto stats = run_figure(
+      opt, fig.x.size(), ranges.size(),
+      [&](std::size_t xi, std::uint32_t r, SimContext& ctx) {
+        const auto nn = static_cast<std::uint32_t>(fig.x[xi]);
+        CellSamples out(ranges.size());
+        for (std::size_t ti = 0; ti < ranges.size(); ++ti) {
+          const double tr = ranges[ti];
+          const std::uint64_t seed = derive_cell_seed(
+              opt.seed + 12 + static_cast<std::uint64_t>(tr), xi, r);
+          // Static layouts: the visible-space ratio is a structural property
+          // of the cluster/QDSet graph, best measured without mobility noise.
+          DriverOptions dopt;
+          dopt.mobility = false;
+          double qip_space = 0.0, ctree_space = 0.0;
+          {
+            World w = make_world(tr, 0.0, seed, ctx);
+            auto proto = make_qip(w);
+            Driver d(w, *proto, dopt);
+            d.join(nn);
+            w.run_for(5.0);
+            qip_space = proto->average_visible_space();
+          }
+          {
+            World w = make_world(tr, 0.0, seed, ctx);
+            auto proto = make_ctree(w);
+            Driver d(w, *proto, dopt);
+            d.join(nn);
+            w.run_for(5.0);
+            ctree_space = proto->average_visible_space();
+          }
+          if (ctree_space > 0.0) out[ti].push_back(qip_space / ctree_space);
         }
-        {
-          World w = make_world(tr, 0.0, seed);
-          auto proto = make_ctree(w);
-          Driver d(w, *proto, dopt);
-          d.join(nn);
-          w.run_for(5.0);
-          ctree_space = proto->average_visible_space();
-        }
-        if (ctree_space > 0.0) ratio.add(qip_space / ctree_space);
-      }
-      s.y.push_back(ratio.mean());
-    }
-    fig.series.push_back(std::move(s));
+        return out;
+      });
+  for (std::size_t ti = 0; ti < ranges.size(); ++ti) {
+    fig.series.push_back(
+        Series{"tr=" + format_double(ranges[ti], 0), means(stats[ti])});
   }
   return fig;
 }
@@ -436,83 +485,82 @@ FigureData fig13_info_loss(const ExperimentOptions& opt) {
               "(nn=150, %)";
   fig.x_name = "abrupt%";
   fig.x = {5, 10, 20, 30, 40, 50};
-  Series qip{"QIP", {}}, ctree{"C-tree[3]", {}};
   constexpr std::uint32_t nn = 150;
-  for (std::size_t xi = 0; xi < fig.x.size(); ++xi) {
-    const double ratio = fig.x[xi] / 100.0;
-    RunningStats a, b;
-    for (std::uint32_t r = 0; r < opt.rounds; ++r) {
-      const std::uint64_t seed = derive_seed(opt.seed + 13, xi, r);
-      // The loss metric is structural, so one built network supports many
-      // independent kill-set samples — resampling tightens the estimate at
-      // no simulation cost.
-      constexpr int kResamples = 25;
-      // --- QIP: a dead head's state survives while at least half of its
-      // QDSet survives (at least one quorum remains, §VI-D.2).
-      {
-        World w = make_world(150.0, 20.0, seed);
-        auto proto = make_qip(w);
-        Driver d(w, *proto);
-        d.join(nn);
-        w.run_for(5.0);
-        for (int s = 0; s < kResamples; ++s) {
-          std::set<NodeId> dead;
-          for (NodeId id : d.members()) {
-            if (w.rng().chance(ratio)) dead.insert(id);
-          }
-          std::uint64_t lost = 0, total = 0;
-          for (NodeId id : d.members()) {
-            if (!dead.count(id) || !proto->knows(id)) continue;
-            const auto& st = proto->state_of(id);
-            if (st.role != Role::kClusterHead) continue;
-            const std::uint64_t space = st.owned_universe.size();
-            total += space;
-            std::uint32_t surviving = 0;
-            for (NodeId m : st.qdset) {
-              if (!dead.count(m)) ++surviving;
+  const auto stats = run_figure(
+      opt, fig.x.size(), 2,
+      [&](std::size_t xi, std::uint32_t r, SimContext& ctx) {
+        const double ratio = fig.x[xi] / 100.0;
+        const std::uint64_t seed = derive_cell_seed(opt.seed + 13, xi, r);
+        CellSamples out(2);
+        // The loss metric is structural, so one built network supports many
+        // independent kill-set samples — resampling tightens the estimate at
+        // no simulation cost.
+        constexpr int kResamples = 25;
+        // --- QIP: a dead head's state survives while at least half of its
+        // QDSet survives (at least one quorum remains, §VI-D.2).
+        {
+          World w = make_world(150.0, 20.0, seed, ctx);
+          auto proto = make_qip(w);
+          Driver d(w, *proto);
+          d.join(nn);
+          w.run_for(5.0);
+          for (int s = 0; s < kResamples; ++s) {
+            std::set<NodeId> dead;
+            for (NodeId id : d.members()) {
+              if (w.rng().chance(ratio)) dead.insert(id);
             }
-            if (surviving * 2 < st.qdset.size() || st.qdset.empty()) {
-              lost += space;
+            std::uint64_t lost = 0, total = 0;
+            for (NodeId id : d.members()) {
+              if (!dead.count(id) || !proto->knows(id)) continue;
+              const auto& st = proto->state_of(id);
+              if (st.role != Role::kClusterHead) continue;
+              const std::uint64_t space = st.owned_universe.size();
+              total += space;
+              std::uint32_t surviving = 0;
+              for (NodeId m : st.qdset) {
+                if (!dead.count(m)) ++surviving;
+              }
+              if (surviving * 2 < st.qdset.size() || st.qdset.empty()) {
+                lost += space;
+              }
             }
-          }
-          if (total > 0) {
-            a.add(100.0 * static_cast<double>(lost) /
-                  static_cast<double>(total));
+            if (total > 0) {
+              out[0].push_back(100.0 * static_cast<double>(lost) /
+                               static_cast<double>(total));
+            }
           }
         }
-      }
-      // --- C-tree: a dead coordinator's allocations survive only in the
-      // root's last snapshot; if the root died too, everything is lost.
-      {
-        World w = make_world(150.0, 20.0, seed);
-        auto proto = make_ctree(w);
-        Driver d(w, *proto);
-        d.join(nn);
-        w.run_for(5.0);
-        proto->update_tick();  // root holds a snapshot of this moment
-        d.join(10);            // ...then allocation state drifts
-        w.run_for(1.0);
-        for (int s = 0; s < kResamples; ++s) {
-          std::set<NodeId> dead;
-          for (NodeId id : d.members()) {
-            if (w.rng().chance(ratio)) dead.insert(id);
-          }
-          // Loss% = allocations of dead coordinators without a surviving
-          // copy over all allocations those coordinators tracked.
-          std::uint64_t at_risk = 0;
-          for (NodeId id : dead) at_risk += proto->allocations_of(id);
-          const std::uint64_t lost = proto->info_loss_if_dead(dead);
-          if (at_risk > 0) {
-            b.add(100.0 * static_cast<double>(lost) /
-                  static_cast<double>(at_risk));
+        // --- C-tree: a dead coordinator's allocations survive only in the
+        // root's last snapshot; if the root died too, everything is lost.
+        {
+          World w = make_world(150.0, 20.0, seed, ctx);
+          auto proto = make_ctree(w);
+          Driver d(w, *proto);
+          d.join(nn);
+          w.run_for(5.0);
+          proto->update_tick();  // root holds a snapshot of this moment
+          d.join(10);            // ...then allocation state drifts
+          w.run_for(1.0);
+          for (int s = 0; s < kResamples; ++s) {
+            std::set<NodeId> dead;
+            for (NodeId id : d.members()) {
+              if (w.rng().chance(ratio)) dead.insert(id);
+            }
+            // Loss% = allocations of dead coordinators without a surviving
+            // copy over all allocations those coordinators tracked.
+            std::uint64_t at_risk = 0;
+            for (NodeId id : dead) at_risk += proto->allocations_of(id);
+            const std::uint64_t lost = proto->info_loss_if_dead(dead);
+            if (at_risk > 0) {
+              out[1].push_back(100.0 * static_cast<double>(lost) /
+                               static_cast<double>(at_risk));
+            }
           }
         }
-      }
-    }
-    qip.y.push_back(a.mean());
-    ctree.y.push_back(b.mean());
-  }
-  fig.series = {qip, ctree};
+        return out;
+      });
+  fig.series = {Series{"QIP", means(stats[0])},
+                Series{"C-tree[3]", means(stats[1])}};
   return fig;
 }
 
@@ -526,67 +574,68 @@ FigureData fig14_reclamation(const ExperimentOptions& opt) {
               "(hops per reclaimed head)";
   fig.x_name = "nn";
   fig.x = {50, 80, 110, 140, 170, 200};
-  Series qip{"QIP", {}}, qip_probe{"QIP+probe", {}}, ctree{"C-tree[3]", {}};
-  for (std::size_t xi = 0; xi < fig.x.size(); ++xi) {
-    const auto nn = static_cast<std::uint32_t>(fig.x[xi]);
-    RunningStats a, ap, b;
-    for (std::uint32_t r = 0; r < opt.rounds; ++r) {
-      const std::uint64_t seed = derive_seed(opt.seed + 14, xi, r);
-      // --- QIP: kill two cluster heads abruptly, let quorum adjustment
-      // detect them and reclaim locally.  Measured twice: the paper's
-      // claims-only reclamation, and this library's safer variant that
-      // probes recorded holders before freeing.
-      for (bool probe : {false, true}) {
-        World w = make_world(150.0, 20.0, seed);
-        QipParams qp;
-        qp.reclaim_probe = probe;
-        auto proto = make_qip_params(w, qp);
-        Driver d(w, *proto);
-        d.join(nn);
-        w.run_for(5.0);
-        std::vector<NodeId> heads = proto->clusters().heads();
-        std::uint32_t killed = 0;
-        for (NodeId h : heads) {
-          if (killed >= 2) break;
-          d.depart_abrupt(h);
-          ++killed;
-        }
-        PhaseMeter meter(w.stats());
-        w.run_for(15.0);  // Td + Tr + settle + write rounds
-        if (killed > 0) {
-          (probe ? ap : a)
-              .add(static_cast<double>(meter.hops(Traffic::kReclamation)) /
-                   killed);
-        }
-      }
-      // --- C-tree: kill two coordinators; the root detects them at the
-      // next periodic update and floods the whole network.
-      {
-        World w = make_world(150.0, 20.0, seed);
-        auto proto = make_ctree(w);
-        Driver d(w, *proto);
-        d.join(nn);
-        w.run_for(5.0);
-        proto->update_tick();  // root learns the coordinator set
-        std::uint32_t killed = 0;
-        for (NodeId id : std::vector<NodeId>(d.members())) {
-          if (killed >= 2) break;
-          if (proto->is_coordinator(id) && id != proto->root()) {
-            d.depart_abrupt(id);
+  const auto stats = run_figure(
+      opt, fig.x.size(), 3,
+      [&](std::size_t xi, std::uint32_t r, SimContext& ctx) {
+        const auto nn = static_cast<std::uint32_t>(fig.x[xi]);
+        const std::uint64_t seed = derive_cell_seed(opt.seed + 14, xi, r);
+        CellSamples out(3);
+        // --- QIP: kill two cluster heads abruptly, let quorum adjustment
+        // detect them and reclaim locally.  Measured twice: the paper's
+        // claims-only reclamation, and this library's safer variant that
+        // probes recorded holders before freeing.
+        for (bool probe : {false, true}) {
+          World w = make_world(150.0, 20.0, seed, ctx);
+          QipParams qp;
+          qp.reclaim_probe = probe;
+          auto proto = make_qip_params(w, qp);
+          Driver d(w, *proto);
+          d.join(nn);
+          w.run_for(5.0);
+          std::vector<NodeId> heads = proto->clusters().heads();
+          std::uint32_t killed = 0;
+          for (NodeId h : heads) {
+            if (killed >= 2) break;
+            d.depart_abrupt(h);
             ++killed;
           }
+          PhaseMeter meter(w.stats());
+          w.run_for(15.0);  // Td + Tr + settle + write rounds
+          if (killed > 0) {
+            out[probe ? 1 : 0].push_back(
+                static_cast<double>(meter.hops(Traffic::kReclamation)) /
+                killed);
+          }
         }
-        PhaseMeter meter(w.stats());
-        w.run_for(12.0);  // two update periods: detection + reclamation
-        const std::uint64_t recl = meter.hops(Traffic::kReclamation);
-        if (killed > 0) b.add(static_cast<double>(recl) / killed);
-      }
-    }
-    qip.y.push_back(a.mean());
-    qip_probe.y.push_back(ap.mean());
-    ctree.y.push_back(b.mean());
-  }
-  fig.series = {qip, qip_probe, ctree};
+        // --- C-tree: kill two coordinators; the root detects them at the
+        // next periodic update and floods the whole network.
+        {
+          World w = make_world(150.0, 20.0, seed, ctx);
+          auto proto = make_ctree(w);
+          Driver d(w, *proto);
+          d.join(nn);
+          w.run_for(5.0);
+          proto->update_tick();  // root learns the coordinator set
+          std::uint32_t killed = 0;
+          for (NodeId id : std::vector<NodeId>(d.members())) {
+            if (killed >= 2) break;
+            if (proto->is_coordinator(id) && id != proto->root()) {
+              d.depart_abrupt(id);
+              ++killed;
+            }
+          }
+          PhaseMeter meter(w.stats());
+          w.run_for(12.0);  // two update periods: detection + reclamation
+          const std::uint64_t recl = meter.hops(Traffic::kReclamation);
+          if (killed > 0) {
+            out[2].push_back(static_cast<double>(recl) / killed);
+          }
+        }
+        return out;
+      });
+  fig.series = {Series{"QIP", means(stats[0])},
+                Series{"QIP+probe", means(stats[1])},
+                Series{"C-tree[3]", means(stats[2])}};
   return fig;
 }
 

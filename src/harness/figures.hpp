@@ -32,6 +32,10 @@ struct FigureData {
 struct ExperimentOptions {
   std::uint32_t rounds = 3;
   std::uint64_t seed = 0x1cdc5'2007ULL;  // ICDCS'07
+  /// Worker threads for replication (see docs/PARALLELISM.md).  Every cell
+  /// runs on its own SimContext and results merge in deterministic order,
+  /// so the output is byte-identical for every value — including 1.
+  std::uint32_t jobs = 1;
 };
 
 /// Fig. 5 — configuration latency (hops) vs network size, tr = 150 m:
@@ -86,7 +90,8 @@ LayoutStats fig4_layout(std::uint64_t seed, std::uint32_t nn = 100,
                         double tr = 150.0);
 
 /// Reads QIP_ROUNDS from the environment (benches honor it), defaulting to
-/// `fallback`.
+/// `fallback`.  Malformed values are rejected with exit(2) — a typo must
+/// not silently demote a long run to the default replication count.
 std::uint32_t rounds_from_env(std::uint32_t fallback);
 
 }  // namespace qip

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <string>
 
+#include "harness/env.hpp"
+
 namespace qip {
 
 std::uint64_t resolve_seed(std::uint64_t fallback, int argc,
@@ -12,18 +14,18 @@ std::uint64_t resolve_seed(std::uint64_t fallback, int argc,
   std::uint64_t seed = fallback;
   const char* source = "default";
 
-  if (const char* env = std::getenv("QIP_SEED"); env && *env) {
-    seed = std::strtoull(env, nullptr, 0);
+  if (std::getenv("QIP_SEED") != nullptr) {
+    seed = env_u64("QIP_SEED", fallback);
     source = "QIP_SEED";
   }
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
-      seed = std::strtoull(argv[i + 1], nullptr, 0);
+      seed = parse_u64("--seed", argv[i + 1]);
       source = "--seed";
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      seed = std::strtoull(arg + 7, nullptr, 0);
+      seed = parse_u64("--seed", arg + 7);
       source = "--seed";
     }
   }

@@ -6,28 +6,39 @@
 namespace qip {
 
 World::World(const WorldParams& params, std::uint64_t seed)
+    : World(params, seed, process_context()) {}
+
+World::World(const WorldParams& params, std::uint64_t seed, SimContext& ctx)
     : params_(params),
+      ctx_(&ctx),
       rng_(seed),
+      sim_(ctx_),
       topology_(Rect{params.area_side, params.area_side},
                 params.transmission_range),
       transport_(sim_, topology_, stats_, params.per_hop_delay),
       mobility_(sim_, topology_, rng_, params.mobility_tick) {
+  topology_.set_context(ctx_);
   // Most recent world wins: scenarios that run several worlds back to back
   // (campus_bringup, protocol_faceoff) timestamp against the active one.
-  Logger::instance().set_time_source(this, [](const void* w) {
+  ctx_->logger().set_time_source(this, [](const void* w) {
     return static_cast<const World*>(w)->sim_.now();
   });
 }
 
-World::~World() { Logger::instance().clear_time_source(this); }
+World::~World() {
+  ctx_->logger().clear_time_source(this);
+  if (faults_ && ctx_->faults() == faults_.get()) ctx_->set_faults(nullptr);
+}
 
 FaultInjector& World::enable_faults(const FaultPlan& plan) {
   faults_ = std::make_unique<FaultInjector>(plan);
   transport_.set_fault_injector(faults_.get());
+  ctx_->set_faults(faults_.get());
   return *faults_;
 }
 
 void World::disable_faults() {
+  if (faults_ && ctx_->faults() == faults_.get()) ctx_->set_faults(nullptr);
   transport_.set_fault_injector(nullptr);
   faults_.reset();
 }

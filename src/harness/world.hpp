@@ -17,6 +17,7 @@
 #include "net/metrics.hpp"
 #include "net/topology.hpp"
 #include "net/transport.hpp"
+#include "sim/sim_context.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -32,12 +33,20 @@ struct WorldParams {
 
 class World {
  public:
+  /// A world on the process-default context (the compatibility path: tools,
+  /// examples and most tests).
   World(const WorldParams& params, std::uint64_t seed);
+  /// A world bound to `ctx`: every trace event, metric and log line this
+  /// world produces lands in the context instead of the process globals.
+  /// The ParallelRunner builds each cell's world this way.  `ctx` must
+  /// outlive the world.
+  World(const WorldParams& params, std::uint64_t seed, SimContext& ctx);
   ~World();
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
   const WorldParams& params() const { return params_; }
+  SimContext& ctx() const { return *ctx_; }
   Rng& rng() { return rng_; }
   Simulator& sim() { return sim_; }
   Topology& topology() { return topology_; }
@@ -73,6 +82,7 @@ class World {
 
  private:
   WorldParams params_;
+  SimContext* ctx_;  ///< before sim_: the simulator is built against it
   Rng rng_;
   Simulator sim_;
   Topology topology_;

@@ -24,6 +24,7 @@
 #include "addr/ip_address.hpp"
 #include "net/node_id.hpp"
 #include "net/transport.hpp"
+#include "sim/sim_context.hpp"
 #include "util/rng.hpp"
 
 namespace qip {
@@ -112,6 +113,13 @@ class AutoconfProtocol {
   Topology& topology() { return transport_.topology(); }
   const Topology& topology() const { return transport_.topology(); }
   Rng& rng() { return rng_; }
+
+  /// The simulation context this protocol's world runs in: trace events and
+  /// metrics land here instead of any process-global.
+  SimContext& ctx() const { return transport_.ctx(); }
+  /// Shadows the namespace-scope default so QIP_LOG statements inside
+  /// protocol code route to the context's logger (see util/logging.hpp).
+  Logger& qip_active_logger() const { return ctx().logger(); }
 
   ConfigRecord& record_for(NodeId id) { return records_[id]; }
   void drop_record(NodeId id) { records_.erase(id); }

@@ -1,6 +1,6 @@
 #include "net/reliable_channel.hpp"
 
-#include "obs/trace_recorder.hpp"
+#include "sim/sim_context.hpp"
 #include "util/assert.hpp"
 
 namespace qip {
@@ -60,8 +60,8 @@ void ReliableChannel::arm_timer(std::uint64_t seq) {
     if (pit == pending_.end()) return;  // acked meanwhile
     if (pit->second.tries > params_.max_retries) {
       ++gave_up_;
-      if (obs::tracing_on()) {
-        obs::TraceRecorder::instance().instant(
+      if (transport_.ctx().tracing_on()) {
+        transport_.ctx().recorder().instant(
             transport_.sim().now(), "give_up", "rpc", pit->second.from,
             {{"to", pit->second.to}, {"tries", pit->second.tries}});
       }
@@ -91,8 +91,8 @@ void ReliableChannel::attempt(std::uint64_t seq) {
       [this, seq](NodeId, std::uint32_t h) { on_data(seq, h); });
   if (hops) {
     transport_.stats().note_retransmission();
-    if (obs::tracing_on()) {
-      obs::TraceRecorder::instance().instant(
+    if (transport_.ctx().tracing_on()) {
+      transport_.ctx().recorder().instant(
           transport_.sim().now(), "retransmit", "rpc", p.from,
           {{"to", p.to}, {"try", p.tries}, {"hops", *hops}});
     }
@@ -107,8 +107,8 @@ void ReliableChannel::on_data(std::uint64_t seq, std::uint32_t hops) {
     // of a retransmission): late data is dropped, mirroring an aborted RPC.
     if (delivered_.count(seq)) {
       ++duplicates_suppressed_;
-      if (obs::tracing_on()) {
-        obs::TraceRecorder::instance().instant(transport_.sim().now(),
+      if (transport_.ctx().tracing_on()) {
+        transport_.ctx().recorder().instant(transport_.sim().now(),
                                                "dup_suppressed", "rpc", 0);
       }
     }
@@ -127,8 +127,8 @@ void ReliableChannel::on_data(std::uint64_t seq, std::uint32_t hops) {
       to, from, traffic, [this, seq](NodeId, std::uint32_t) { on_ack(seq); });
   if (ack_hops) {
     transport_.stats().note_ack();
-    if (obs::tracing_on()) {
-      obs::TraceRecorder::instance().instant(transport_.sim().now(), "ack",
+    if (transport_.ctx().tracing_on()) {
+      transport_.ctx().recorder().instant(transport_.sim().now(), "ack",
                                              "rpc", to, {{"to", from}});
     }
   }
@@ -136,8 +136,8 @@ void ReliableChannel::on_data(std::uint64_t seq, std::uint32_t hops) {
     deliver(to, hops);
   } else {
     ++duplicates_suppressed_;
-    if (obs::tracing_on()) {
-      obs::TraceRecorder::instance().instant(transport_.sim().now(),
+    if (transport_.ctx().tracing_on()) {
+      transport_.ctx().recorder().instant(transport_.sim().now(),
                                              "dup_suppressed", "rpc", to);
     }
   }

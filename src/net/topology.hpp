@@ -56,6 +56,10 @@ class Topology {
   bool cache_enabled() const { return cache_enabled_; }
   void set_cache_enabled(bool on) { cache_enabled_ = on; }
 
+  /// Binds the cache's rebuild ProfileScopes to `ctx` (null: the process
+  /// context).  Called by World; behavior-invariant either way.
+  void set_context(SimContext* ctx) { cache_.set_context(ctx); }
+
   /// One-hop neighbors of `id` (distance <= range, excluding `id`), sorted.
   std::vector<NodeId> neighbors(NodeId id) const;
 

@@ -1,6 +1,7 @@
 #include "net/topology_cache.hpp"
 
 #include "obs/profile.hpp"
+#include "sim/sim_context.hpp"
 #include "util/assert.hpp"
 
 namespace qip {
@@ -25,7 +26,8 @@ const std::vector<NodeId>& TopologyCache::neighbors(const GridIndex& index,
 
 const TopologyCache::Csr& TopologyCache::csr(const GridIndex& index) {
   if (csr_epoch_ == index.epoch()) return csr_;
-  obs::ProfileScope prof("topo_csr_rebuild");
+  SimContext& c = ctx_ ? *ctx_ : process_context();
+  obs::ProfileScope prof("topo_csr_rebuild", c.recorder(), c.metrics());
   auto& ids = csr_.ids;
   ids.clear();
   ids.reserve(index.size());
@@ -72,7 +74,8 @@ const TopologyCache::Csr& TopologyCache::csr(const GridIndex& index) {
 const TopologyCache::Components& TopologyCache::components(
     const GridIndex& index) {
   if (comps_epoch_ == index.epoch()) return comps_;
-  obs::ProfileScope prof("topo_components_rebuild");
+  SimContext& c = ctx_ ? *ctx_ : process_context();
+  obs::ProfileScope prof("topo_components_rebuild", c.recorder(), c.metrics());
   const Csr& graph = csr(index);
   const auto n = static_cast<std::uint32_t>(graph.ids.size());
   comps_.groups.clear();

@@ -36,6 +36,8 @@
 
 namespace qip {
 
+class SimContext;
+
 class TopologyCache {
  public:
   /// Sentinel for "not reached" / "no depth bound".
@@ -43,6 +45,11 @@ class TopologyCache {
       std::numeric_limits<std::uint32_t>::max();
 
   explicit TopologyCache(double range) : range_(range) {}
+
+  /// Context whose recorder/metrics the rebuild ProfileScopes feed; null
+  /// (the default) falls back to the process context.  Set by the owning
+  /// Topology when a World binds it to a SimContext.
+  void set_context(SimContext* ctx) { ctx_ = ctx; }
 
   /// Flat adjacency snapshot of the whole graph at one epoch.
   struct Csr {
@@ -126,6 +133,7 @@ class TopologyCache {
       std::numeric_limits<std::uint64_t>::max();
 
   double range_;
+  SimContext* ctx_ = nullptr;
   std::unordered_map<NodeId, AdjRow> adj_;
   Csr csr_;
   std::uint64_t csr_epoch_ = kNoEpoch;

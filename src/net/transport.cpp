@@ -1,17 +1,17 @@
 #include "net/transport.hpp"
 
 #include "obs/profile.hpp"
-#include "obs/trace_recorder.hpp"
+#include "sim/sim_context.hpp"
 #include "util/assert.hpp"
 
 namespace qip {
 
 namespace {
-// All transport trace events live behind obs::tracing_on() and draw no
+// All transport trace events live behind ctx().tracing_on() and draw no
 // randomness, so traced runs stay byte-identical to untraced ones.
-void trace_drop(double now, NodeId to, const char* reason) {
-  obs::TraceRecorder::instance().instant(now, "drop", "net.drop", to,
-                                         {{"reason", reason}});
+void trace_drop(obs::TraceRecorder& rec, double now, NodeId to,
+                const char* reason) {
+  rec.instant(now, "drop", "net.drop", to, {{"reason", reason}});
 }
 }  // namespace
 
@@ -28,7 +28,9 @@ bool Transport::can_transmit(NodeId id) const {
   if (!topology_.has_node(id)) return false;
   if (faults_active() && !faults_->node_up(id, sim_.now())) {
     faults_->note_blocked_send();
-    if (obs::tracing_on()) trace_drop(sim_.now(), id, "send_blocked");
+    if (ctx().tracing_on()) {
+      trace_drop(ctx().recorder(), sim_.now(), id, "send_blocked");
+    }
     return false;
   }
   return true;
@@ -42,19 +44,21 @@ void Transport::schedule_delivery(NodeId to, std::uint32_t hops, SimTime extra,
                // flight; a vanished radio hears nothing.
                if (!topology_.has_node(to)) {
                  stats_.note_dropped_in_flight();
-                 if (obs::tracing_on())
-                   trace_drop(sim_.now(), to, "in_flight_departed");
+                 if (ctx().tracing_on())
+                   trace_drop(ctx().recorder(), sim_.now(), to,
+                              "in_flight_departed");
                  return;
                }
                // Likewise a radio that crashed after the send instant.
                if (faults_active() && !faults_->node_up(to, sim_.now())) {
                  faults_->note_blackout();
-                 if (obs::tracing_on())
-                   trace_drop(sim_.now(), to, "in_flight_crash");
+                 if (ctx().tracing_on())
+                   trace_drop(ctx().recorder(), sim_.now(), to,
+                              "in_flight_crash");
                  return;
                }
-               if (obs::tracing_on()) {
-                 obs::TraceRecorder::instance().instant(
+               if (ctx().tracing_on()) {
+                 ctx().recorder().instant(
                      sim_.now(), "deliver", "net.rx", to, {{"hops", hops}});
                }
                fn(to, hops);
@@ -66,12 +70,12 @@ void Transport::deliver_later(NodeId from, NodeId to, std::uint32_t hops,
   QIP_ASSERT(on_deliver != nullptr);
   if (faults_active()) {
     const auto fate = faults_->judge(from, to, sim_.now());
-    if (obs::tracing_on()) {
+    if (ctx().tracing_on()) {
       if (fate.copies == 0) {
-        trace_drop(sim_.now(), to, fate.drop_reason ? fate.drop_reason : "?");
+        trace_drop(ctx().recorder(), sim_.now(), to,
+                   fate.drop_reason ? fate.drop_reason : "?");
       } else if (fate.copies > 1) {
-        obs::TraceRecorder::instance().instant(sim_.now(), "dup", "net.drop",
-                                               to);
+        ctx().recorder().instant(sim_.now(), "dup", "net.drop", to);
       }
     }
     for (std::uint32_t c = 0; c < fate.copies; ++c) {
@@ -92,8 +96,8 @@ std::optional<std::uint32_t> Transport::unicast(NodeId from, NodeId to,
   const auto hops = topology_.hop_distance(from, to);
   if (!hops) return std::nullopt;
   stats_.record(t, *hops);
-  if (obs::tracing_on()) {
-    obs::TraceRecorder::instance().instant(
+  if (ctx().tracing_on()) {
+    ctx().recorder().instant(
         sim_.now(), "unicast", "net", from,
         {{"traffic", to_string(t)}, {"to", to}, {"hops", *hops}});
   }
@@ -106,8 +110,8 @@ std::vector<NodeId> Transport::local_broadcast(NodeId from, Traffic t,
   if (!can_transmit(from)) return {};
   auto heard = topology_.neighbors(from);
   stats_.record(t, 1);  // one transmission regardless of audience size
-  if (obs::tracing_on()) {
-    obs::TraceRecorder::instance().instant(
+  if (ctx().tracing_on()) {
+    ctx().recorder().instant(
         sim_.now(), "bcast", "net", from,
         {{"traffic", to_string(t)},
          {"hops", std::uint32_t{1}},
@@ -121,15 +125,15 @@ std::vector<NodeId> Transport::flood(NodeId from, std::uint32_t radius,
                                      Traffic t, Receiver on_deliver) {
   if (!can_transmit(from)) return {};
   QIP_ASSERT(radius >= 1);
-  obs::ProfileScope prof("transport_flood");
+  obs::ProfileScope prof("transport_flood", ctx().recorder(), ctx().metrics());
   const auto& in_range = topology_.k_hop_view(from, radius);
   // Transmissions: the sender plus every node that relays (distance < radius).
   std::uint64_t transmissions = 1;
   for (const auto& [node, d] : in_range)
     if (d < radius) ++transmissions;
   stats_.record(t, transmissions, /*messages=*/1);
-  if (obs::tracing_on()) {
-    obs::TraceRecorder::instance().instant(
+  if (ctx().tracing_on()) {
+    ctx().recorder().instant(
         sim_.now(), "flood", "net", from,
         {{"traffic", to_string(t)},
          {"radius", radius},
@@ -154,8 +158,8 @@ std::vector<NodeId> Transport::flood_component(NodeId from, Traffic t,
   if (topology_.component_view(from).size() == 1) {
     // Isolated sender: one futile transmission.
     stats_.record(t, 1, 1);
-    if (obs::tracing_on()) {
-      obs::TraceRecorder::instance().instant(
+    if (ctx().tracing_on()) {
+      ctx().recorder().instant(
           sim_.now(), "flood", "net", from,
           {{"traffic", to_string(t)},
            {"hops", std::uint32_t{1}},

@@ -49,6 +49,8 @@ class Transport {
   const MessageStats& stats() const { return stats_; }
   Simulator& sim() { return sim_; }
   const Simulator& sim() const { return sim_; }
+  /// The simulation context observability flows through (the simulator's).
+  SimContext& ctx() const { return sim_.ctx(); }
   Topology& topology() { return topology_; }
   const Topology& topology() const { return topology_; }
 

@@ -56,6 +56,24 @@ void Histogram::reset() {
   min_ = max_ = 0.0;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  if (other.count_ == 0) return;
+  QIP_ASSERT_MSG(bounds_ == other.bounds_,
+                 "merging histograms with different bounds");
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 std::vector<double> latency_buckets_s() {
   std::vector<double> b;
   for (double v = 1e-6; v < 200.0; v *= 2.0) b.push_back(v);
@@ -68,7 +86,7 @@ std::vector<double> duration_buckets_us() {
   return b;
 }
 
-MetricsRegistry& MetricsRegistry::instance() {
+MetricsRegistry& process_metrics() {
   static MetricsRegistry registry;
   return registry;
 }
@@ -119,6 +137,30 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   QIP_ASSERT_MSG(!s.counter && !s.gauge, "series type mismatch: " << name);
   if (!s.histogram) s.histogram = std::make_unique<Histogram>(std::move(bounds));
   return *s.histogram;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [key, s] : other.series_) {
+    Series& mine = series_[key];
+    if (s.counter) {
+      QIP_ASSERT_MSG(!mine.gauge && !mine.histogram,
+                     "series type mismatch: " << key);
+      if (!mine.counter) mine.counter = std::make_unique<Counter>();
+      mine.counter->inc(s.counter->value());
+    } else if (s.gauge) {
+      QIP_ASSERT_MSG(!mine.counter && !mine.histogram,
+                     "series type mismatch: " << key);
+      if (!mine.gauge) mine.gauge = std::make_unique<Gauge>();
+      mine.gauge->add(s.gauge->value());
+    } else if (s.histogram) {
+      QIP_ASSERT_MSG(!mine.counter && !mine.gauge,
+                     "series type mismatch: " << key);
+      if (!mine.histogram) {
+        mine.histogram = std::make_unique<Histogram>(s.histogram->bounds());
+      }
+      mine.histogram->merge_from(*s.histogram);
+    }
+  }
 }
 
 void MetricsRegistry::reset_values() {

@@ -69,6 +69,11 @@ class Histogram {
   const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
   void reset();
 
+  /// Folds another histogram's observations into this one.  The bounds must
+  /// match (series merged across SimContexts are created from the same
+  /// instrumentation site, so they always do).
+  void merge_from(const Histogram& other);
+
  private:
   std::vector<double> bounds_;           ///< ascending upper bounds
   std::vector<std::uint64_t> counts_;    ///< bounds_.size() + 1 (overflow)
@@ -85,8 +90,6 @@ std::vector<double> duration_buckets_us();
 
 class MetricsRegistry {
  public:
-  /// Global registry (single-threaded by design, like Logger).
-  static MetricsRegistry& instance();
   MetricsRegistry() = default;
 
   Counter& counter(std::string_view name, const Labels& labels = {});
@@ -105,6 +108,12 @@ class MetricsRegistry {
   /// key; histograms expand to _count/_sum/_p50/_p99/_max lines.
   std::string render_text() const;
 
+  /// Folds every series of `other` into this registry: counters and gauges
+  /// add their values, histograms merge bucket counts.  Series missing here
+  /// are created.  The ParallelRunner absorbs per-cell registries through
+  /// this in (x, round) order, so the merged totals are deterministic.
+  void merge_from(const MetricsRegistry& other);
+
  private:
   struct Series {
     std::unique_ptr<Counter> counter;
@@ -116,5 +125,10 @@ class MetricsRegistry {
 
   std::map<std::string, Series> series_;
 };
+
+/// The process-wide registry: what tools and examples export by default, and
+/// what the default process context aliases.  This accessor is the
+/// compatibility shim for code that predates per-run contexts.
+MetricsRegistry& process_metrics();
 
 }  // namespace qip::obs

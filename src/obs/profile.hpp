@@ -20,19 +20,26 @@ namespace qip::obs {
 class ProfileScope {
  public:
   /// `site` must be a string literal (it names the trace event and the
-  /// histogram label).
-  explicit ProfileScope(const char* site) {
-    if (!tracing_on()) return;
+  /// histogram label).  The recorder and registry are resolved once, here,
+  /// and held for the scope's whole lifetime — a scope can never straddle
+  /// two contexts, even if the active context changes while it is open.
+  ProfileScope(const char* site, TraceRecorder& recorder,
+               MetricsRegistry& metrics)
+      : recorder_(recorder), metrics_(metrics) {
+    if (!recorder_.enabled()) return;
     site_ = site;
-    start_us_ = TraceRecorder::instance().wall_now_us();
+    start_us_ = recorder_.wall_now_us();
   }
+
+  /// Process-context convenience for call sites without a SimContext.
+  explicit ProfileScope(const char* site)
+      : ProfileScope(site, process_recorder(), process_metrics()) {}
 
   ~ProfileScope() {
     if (site_ == nullptr) return;
-    TraceRecorder& r = TraceRecorder::instance();
-    const double dur = r.wall_now_us() - start_us_;
-    r.complete_wall(site_, "profile", start_us_, dur);
-    MetricsRegistry::instance()
+    const double dur = recorder_.wall_now_us() - start_us_;
+    recorder_.complete_wall(site_, "profile", start_us_, dur);
+    metrics_
         .histogram("profile_us", {{"site", site_}}, duration_buckets_us())
         .observe(dur);
   }
@@ -41,6 +48,8 @@ class ProfileScope {
   ProfileScope& operator=(const ProfileScope&) = delete;
 
  private:
+  TraceRecorder& recorder_;
+  MetricsRegistry& metrics_;
   const char* site_ = nullptr;
   double start_us_ = 0.0;
 };

@@ -99,11 +99,11 @@ void write_event(std::ostream& os, const Event& e) {
 }  // namespace
 
 void dump_env_trace() {
-  TraceRecorder& r = TraceRecorder::instance();
+  TraceRecorder& r = process_recorder();
   if (!r.env_dump_path_.empty()) r.dump_file(r.env_dump_path_);
 }
 
-TraceRecorder::TraceRecorder() {
+void TraceRecorder::init_from_env() {
   if (const char* buf = std::getenv("QIP_TRACE_BUF")) {
     const unsigned long long n = std::strtoull(buf, nullptr, 10);
     if (n > 0) capacity_ = static_cast<std::size_t>(n);
@@ -116,18 +116,21 @@ TraceRecorder::TraceRecorder() {
   }
 }
 
-TraceRecorder& TraceRecorder::instance() {
+TraceRecorder& process_recorder() {
   static TraceRecorder recorder;
   // The env-driven exit dump must be registered AFTER the static's
   // construction completes: atexit handlers and static destructors unwind in
-  // reverse order, so registering inside the constructor (before the
+  // reverse order, so registering from the constructor (before the
   // destructor itself is registered) would run the dump against an
-  // already-destroyed ring.
-  static const bool env_dump_registered = [] {
+  // already-destroyed ring.  Env config is deferred here for the same
+  // reason — and because only the process recorder honors the env levers;
+  // per-context recorders inherit their config from their parent context.
+  static const bool env_configured = [] {
+    recorder.init_from_env();
     if (!recorder.env_dump_path_.empty()) std::atexit(dump_env_trace);
     return true;
   }();
-  (void)env_dump_registered;
+  (void)env_configured;
   return recorder;
 }
 
@@ -241,6 +244,21 @@ void TraceRecorder::complete_wall(const char* name, const char* cat,
   e.dur = dur_us;
   e.phase = Phase::kComplete;
   fill_args(e, {});
+}
+
+void TraceRecorder::merge_from(const TraceRecorder& other) {
+  if (other.size_ == 0) return;
+  if (ring_.size() != capacity_) ring_.assign(capacity_, Event{});
+  // Span ids allocated by `other` restart at 1; shifting them past the ids
+  // already allocated here keeps begin/end pairing intact and collision-free.
+  const std::uint64_t id_base = spans_allocated();
+  for (Event e : other.events()) {
+    if ((e.phase == Phase::kBegin || e.phase == Phase::kEnd) && e.id != 0) {
+      e.id += id_base;
+    }
+    push() = e;
+  }
+  next_span_ += other.spans_allocated();
 }
 
 double TraceRecorder::wall_now_us() const {

@@ -90,9 +90,10 @@ struct Event {
 
 class TraceRecorder {
  public:
-  /// Global recorder (the simulator is single-threaded by design, like
-  /// Logger).  First access reads QIP_TRACE_FILE / QIP_TRACE_BUF.
-  static TraceRecorder& instance();
+  /// A fresh, disabled recorder with the default capacity.  Each SimContext
+  /// owns one; the process-wide recorder (process_recorder()) additionally
+  /// honors QIP_TRACE_FILE / QIP_TRACE_BUF.
+  TraceRecorder() = default;
 
   bool enabled() const { return enabled_; }
   /// Allocates the ring (if needed) and starts recording.  The wall-clock
@@ -129,6 +130,16 @@ class TraceRecorder {
   /// Recorded events, oldest first (unwraps the ring).
   std::vector<Event> events() const;
 
+  /// Number of span ids this recorder has handed out.
+  std::uint64_t spans_allocated() const { return next_span_ - 1; }
+
+  /// Appends every event of `other` (oldest first) to this ring, remapping
+  /// span ids past the ids already allocated here so spans from different
+  /// recorders never collide.  Merge order is the caller's responsibility;
+  /// the ParallelRunner absorbs per-cell recorders in (x, round) order, which
+  /// makes the merged stream — ids included — identical to a sequential run.
+  void merge_from(const TraceRecorder& other);
+
   // -- Export ---------------------------------------------------------------
   /// One Chrome trace_event JSON object per line.
   void dump_jsonl(std::ostream& os) const;
@@ -139,8 +150,8 @@ class TraceRecorder {
   bool dump_file(const std::string& path) const;
 
  private:
-  TraceRecorder();
   Event& push();
+  void init_from_env();
 
   bool enabled_ = false;
   std::size_t capacity_ = 1u << 18;
@@ -153,9 +164,18 @@ class TraceRecorder {
   std::string env_dump_path_;  ///< QIP_TRACE_FILE target, dumped at exit
 
   friend void dump_env_trace();
+  friend TraceRecorder& process_recorder();
 };
 
-/// The one branch every instrumentation site pays when tracing is off.
-inline bool tracing_on() { return TraceRecorder::instance().enabled(); }
+/// The process-wide recorder: what tools and examples trace into by default,
+/// and what the default process context aliases.  First access reads
+/// QIP_TRACE_FILE / QIP_TRACE_BUF and registers the exit dump.  This
+/// accessor is the compatibility shim for code that predates per-run
+/// contexts; context-aware code reads its SimContext's recorder instead.
+TraceRecorder& process_recorder();
+
+/// The one branch a process-context instrumentation site pays when tracing
+/// is off.  Sites with a SimContext in reach use ctx.tracing_on() instead.
+inline bool tracing_on() { return process_recorder().enabled(); }
 
 }  // namespace qip::obs

@@ -19,9 +19,14 @@ std::string extract_trace_arg(int& argc, char** argv) {
   return "";
 }
 
-TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+TraceRecorder& TraceSession::recorder() const {
+  return recorder_ ? *recorder_ : process_recorder();
+}
+
+TraceSession::TraceSession(std::string path, TraceRecorder* recorder)
+    : path_(std::move(path)), recorder_(recorder) {
   if (path_.empty()) return;
-  TraceRecorder& r = TraceRecorder::instance();
+  TraceRecorder& r = this->recorder();
   was_enabled_ = r.enabled();
   r.enable();
   r.clear();
@@ -29,7 +34,7 @@ TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
 
 bool TraceSession::dump() {
   if (path_.empty()) return true;
-  TraceRecorder& r = TraceRecorder::instance();
+  TraceRecorder& r = recorder();
   const bool ok = r.dump_file(path_);
   if (ok) {
     if (r.overwritten() > 0) {
@@ -49,7 +54,9 @@ bool TraceSession::dump() {
 TraceSession::~TraceSession() { dump(); }
 
 TraceSession::TraceSession(TraceSession&& other) noexcept
-    : path_(std::move(other.path_)), was_enabled_(other.was_enabled_) {
+    : path_(std::move(other.path_)),
+      recorder_(other.recorder_),
+      was_enabled_(other.was_enabled_) {
   other.path_.clear();
 }
 
@@ -57,6 +64,7 @@ TraceSession& TraceSession::operator=(TraceSession&& other) noexcept {
   if (this != &other) {
     dump();
     path_ = std::move(other.path_);
+    recorder_ = other.recorder_;
     was_enabled_ = other.was_enabled_;
     other.path_.clear();
   }

@@ -7,6 +7,8 @@
 
 namespace qip::obs {
 
+class TraceRecorder;
+
 /// Strips a `--trace <file>` pair from argv (if present) and returns the
 /// file path, or "" when the flag is absent.  Mutates argc/argv so the
 /// caller's own argument parsing never sees the flag.
@@ -19,7 +21,9 @@ std::string extract_trace_arg(int& argc, char** argv);
 class TraceSession {
  public:
   TraceSession() = default;
-  explicit TraceSession(std::string path);
+  /// Scopes tracing on `recorder` (default: the process recorder, which is
+  /// what the CLIs and examples trace into).
+  explicit TraceSession(std::string path, TraceRecorder* recorder = nullptr);
   ~TraceSession();
 
   TraceSession(TraceSession&& other) noexcept;
@@ -35,7 +39,10 @@ class TraceSession {
   bool dump();
 
  private:
+  TraceRecorder& recorder() const;
+
   std::string path_;
+  TraceRecorder* recorder_ = nullptr;  ///< null: the process recorder
   bool was_enabled_ = false;  ///< restore state for nested/env-driven tracing
 };
 

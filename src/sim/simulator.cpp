@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "obs/trace_recorder.hpp"
+#include "sim/sim_context.hpp"
 
 namespace qip {
 
@@ -14,9 +14,12 @@ bool Simulator::step() {
   ++executed_;
   // Sampled scheduling depth: one counter event per 128 executed events is
   // enough to see backlog build-up in a trace without drowning it.
-  if (obs::tracing_on() && (executed_ & 127u) == 0) {
-    obs::TraceRecorder::instance().counter(
-        now_, "event_queue_depth", "sim", static_cast<double>(queue_.size()));
+  if ((executed_ & 127u) == 0) {
+    SimContext& c = ctx();
+    if (c.tracing_on()) {
+      c.recorder().counter(now_, "event_queue_depth", "sim",
+                           static_cast<double>(queue_.size()));
+    }
   }
   fired.fn();
   if (!probes_.empty()) run_probes();

@@ -14,8 +14,19 @@
 
 namespace qip {
 
+class SimContext;
+SimContext& process_context();
+
 class Simulator {
  public:
+  /// A simulator bound to `ctx`; null means the process-default context.
+  /// Everything downstream of a Simulator (Transport, protocols, World)
+  /// reaches its logger/recorder/metrics through ctx().
+  explicit Simulator(SimContext* ctx = nullptr) : ctx_(ctx) {}
+
+  SimContext& ctx() const { return ctx_ ? *ctx_ : process_context(); }
+  void set_context(SimContext* ctx) { ctx_ = ctx; }
+
   SimTime now() const { return now_; }
   std::uint64_t events_executed() const { return executed_; }
   bool idle() const { return queue_.empty(); }
@@ -73,6 +84,7 @@ class Simulator {
 
   void run_probes();
 
+  SimContext* ctx_ = nullptr;
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t executed_ = 0;

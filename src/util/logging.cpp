@@ -38,7 +38,7 @@ const char* to_string(LogLevel level) {
   return "?";
 }
 
-Logger& Logger::instance() {
+Logger& process_logger() {
   static Logger logger;
   return logger;
 }
@@ -54,6 +54,12 @@ void Logger::write(LogLevel level, const std::string& message) {
     out << ts;
   }
   out << "] " << message << '\n';
+}
+
+void Logger::write_raw(const std::string& text) {
+  if (text.empty()) return;
+  std::ostream& out = sink_ ? *sink_ : std::cerr;
+  out << text;
 }
 
 }  // namespace qip

@@ -1,9 +1,15 @@
 // Minimal leveled logger.
 //
-// The simulator is single-threaded by design (discrete-event), so the logger
-// performs no locking.  Protocol modules log through QIP_LOG(level) which
-// formats lazily: when the level is filtered out the stream expression is
-// never evaluated.
+// Each SimContext owns (or aliases) one Logger, so a logger instance is only
+// ever driven from one thread at a time and performs no locking.  Protocol
+// modules log through QIP_LOG(level) which formats lazily: when the level is
+// filtered out the stream expression is never evaluated.
+//
+// QIP_LOG resolves its target by calling `qip_active_logger()` unqualified:
+// the namespace-scope default returns the process-wide logger, and classes
+// that carry a SimContext shadow it with a member function returning the
+// context's logger — so the same macro text routes to the injected logger
+// inside context-aware code and to the process logger everywhere else.
 #pragma once
 
 #include <iostream>
@@ -23,10 +29,10 @@ enum class LogLevel : int {
 
 const char* to_string(LogLevel level);
 
-/// Global logger configuration. Sinks default to stderr.
+/// Logger configuration. Sinks default to stderr.
 class Logger {
  public:
-  static Logger& instance();
+  Logger() = default;
 
   LogLevel level() const { return level_; }
   void set_level(LogLevel level) { level_ = level; }
@@ -34,6 +40,7 @@ class Logger {
   /// Redirects output (tests capture logs this way); pass nullptr to restore
   /// stderr.
   void set_sink(std::ostream* sink) { sink_ = sink; }
+  std::ostream* sink() const { return sink_; }
 
   /// Installs a simulated-clock source so log lines can carry sim-time
   /// timestamps (`[WARN t=12.345] ...`).  Timestamps only appear when the
@@ -55,13 +62,18 @@ class Logger {
 
   void write(LogLevel level, const std::string& message);
 
+  /// Writes already-formatted text verbatim to the sink (no prefix, no
+  /// trailing newline added).  SimContext::absorb flushes a replica's
+  /// buffered lines through this, preserving their exact bytes.
+  void write_raw(const std::string& text);
+
   /// Number of messages emitted at >= warn since construction; tests use this
   /// to assert that clean scenarios stay clean.
   std::uint64_t warning_count() const { return warnings_; }
+  void add_warnings(std::uint64_t n) { warnings_ += n; }
   void reset_counters() { warnings_ = 0; }
 
  private:
-  Logger() = default;
   LogLevel level_ = LogLevel::kWarn;
   std::ostream* sink_ = nullptr;
   std::uint64_t warnings_ = 0;
@@ -69,12 +81,22 @@ class Logger {
   TimeFn time_fn_ = nullptr;
 };
 
+/// The process-wide logger: what QIP_LOG uses outside any SimContext, and
+/// what the default process context aliases.  This accessor (and the
+/// process context built on it) is the compatibility shim for code that
+/// predates per-run contexts.
+Logger& process_logger();
+
+/// Default log target for QIP_LOG call sites with no enclosing context.
+/// Classes holding a SimContext shadow this with a member function.
+inline Logger& qip_active_logger() { return process_logger(); }
+
 namespace detail {
-/// Accumulates one log statement and flushes on destruction.
+/// Accumulates one log statement and flushes to its logger on destruction.
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { Logger::instance().write(level_, os_.str()); }
+  LogLine(Logger& logger, LogLevel level) : logger_(logger), level_(level) {}
+  ~LogLine() { logger_.write(level_, os_.str()); }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 
@@ -85,6 +107,7 @@ class LogLine {
   }
 
  private:
+  Logger& logger_;
   LogLevel level_;
   std::ostringstream os_;
 };
@@ -92,10 +115,10 @@ class LogLine {
 
 }  // namespace qip
 
-#define QIP_LOG(level)                                  \
-  if (!::qip::Logger::instance().enabled(level)) {      \
-  } else                                                \
-    ::qip::detail::LogLine(level)
+#define QIP_LOG(level)                          \
+  if (!qip_active_logger().enabled(level)) {    \
+  } else                                        \
+    ::qip::detail::LogLine(qip_active_logger(), level)
 
 #define QIP_TRACE QIP_LOG(::qip::LogLevel::kTrace)
 #define QIP_DEBUG QIP_LOG(::qip::LogLevel::kDebug)

@@ -7,6 +7,8 @@
 #include "core/qip_engine.hpp"
 #include "harness/driver.hpp"
 #include "harness/figures.hpp"
+#include "harness/parallel.hpp"
+#include "harness/seed.hpp"
 #include "harness/world.hpp"
 
 namespace qip {
@@ -91,9 +93,51 @@ TEST(Figures, RoundsFromEnv) {
   EXPECT_EQ(rounds_from_env(7), 7u);
   setenv("QIP_ROUNDS", "12", 1);
   EXPECT_EQ(rounds_from_env(7), 12u);
-  setenv("QIP_ROUNDS", "garbage", 1);
-  EXPECT_EQ(rounds_from_env(7), 7u);
   unsetenv("QIP_ROUNDS");
+}
+
+// A typo in a replication knob must not silently demote a long run to the
+// default — malformed values are a hard error (exit 2), not a fallback.
+TEST(EnvParseDeathTest, MalformedRoundsRejected) {
+  setenv("QIP_ROUNDS", "garbage", 1);
+  EXPECT_EXIT(rounds_from_env(7), ::testing::ExitedWithCode(2),
+              "invalid QIP_ROUNDS");
+  setenv("QIP_ROUNDS", "1O", 1);  // digit one, letter O
+  EXPECT_EXIT(rounds_from_env(7), ::testing::ExitedWithCode(2),
+              "invalid QIP_ROUNDS");
+  setenv("QIP_ROUNDS", "0", 1);
+  EXPECT_EXIT(rounds_from_env(7), ::testing::ExitedWithCode(2),
+              "invalid QIP_ROUNDS");
+  setenv("QIP_ROUNDS", "-3", 1);
+  EXPECT_EXIT(rounds_from_env(7), ::testing::ExitedWithCode(2),
+              "invalid QIP_ROUNDS");
+  unsetenv("QIP_ROUNDS");
+}
+
+TEST(EnvParseDeathTest, MalformedJobsRejected) {
+  setenv("QIP_JOBS", "four", 1);
+  EXPECT_EXIT(jobs_from_env(1), ::testing::ExitedWithCode(2),
+              "invalid QIP_JOBS");
+  setenv("QIP_JOBS", "0", 1);
+  EXPECT_EXIT(jobs_from_env(1), ::testing::ExitedWithCode(2),
+              "invalid QIP_JOBS");
+  unsetenv("QIP_JOBS");
+  EXPECT_EQ(jobs_from_env(3), 3u);
+  setenv("QIP_JOBS", "8", 1);
+  EXPECT_EQ(jobs_from_env(3), 8u);
+  unsetenv("QIP_JOBS");
+}
+
+TEST(EnvParseDeathTest, MalformedSeedRejected) {
+  setenv("QIP_SEED", "not-a-seed", 1);
+  EXPECT_EXIT(resolve_seed(1, 0, nullptr, false),
+              ::testing::ExitedWithCode(2), "invalid QIP_SEED");
+  setenv("QIP_SEED", "0x1cdc52007", 1);
+  EXPECT_EQ(resolve_seed(1, 0, nullptr, false), 0x1cdc52007ULL);
+  unsetenv("QIP_SEED");
+  const char* argv[] = {"bench", "--seed", "bogus"};
+  EXPECT_EXIT(resolve_seed(1, 3, argv, false), ::testing::ExitedWithCode(2),
+              "invalid --seed");
 }
 
 TEST(Figures, Fig4LayoutProducesClusters) {

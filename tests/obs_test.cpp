@@ -51,16 +51,16 @@ const bool kSimtimeEnv = [] {
 class RecorderScope {
  public:
   RecorderScope() {
-    auto& rec = obs::TraceRecorder::instance();
+    auto& rec = obs::process_recorder();
     rec.enable();
     rec.clear();
   }
   ~RecorderScope() {
-    auto& rec = obs::TraceRecorder::instance();
+    auto& rec = obs::process_recorder();
     rec.disable();
     rec.clear();
   }
-  obs::TraceRecorder& rec() { return obs::TraceRecorder::instance(); }
+  obs::TraceRecorder& rec() { return obs::process_recorder(); }
 };
 
 // ---------------------------------------------------------------------------
@@ -97,7 +97,7 @@ TEST(TraceRecorder, RecordsInstantsSpansAndCounters) {
 }
 
 TEST(TraceRecorder, DisabledRecorderKeepsNothing) {
-  auto& rec = obs::TraceRecorder::instance();
+  auto& rec = obs::process_recorder();
   ASSERT_FALSE(rec.enabled());
   EXPECT_FALSE(obs::tracing_on());
   // Instrumentation sites all guard on tracing_on(); a direct call while
@@ -107,7 +107,7 @@ TEST(TraceRecorder, DisabledRecorderKeepsNothing) {
 }
 
 TEST(TraceRecorder, RingWrapsOldestFirst) {
-  auto& rec = obs::TraceRecorder::instance();
+  auto& rec = obs::process_recorder();
   const std::size_t old_capacity = rec.capacity();
   rec.set_capacity(8);
   {
@@ -234,7 +234,7 @@ TEST(TraceSession, ExtractsTraceFlagAndWritesFile) {
     obs::TraceSession session(path);
     ASSERT_TRUE(session.active());
     ASSERT_TRUE(obs::tracing_on());
-    obs::TraceRecorder::instance().instant(1.0, "mark", "test", 1);
+    obs::process_recorder().instant(1.0, "mark", "test", 1);
     EXPECT_TRUE(session.dump());
     EXPECT_FALSE(obs::tracing_on());  // dump() restores the disabled state
   }
@@ -397,7 +397,7 @@ struct TwoClusterRun {
 /// heads form a QDSet and later allocations go through real quorum rounds.
 /// No mobility: every message exchange is a pure function of the seed.
 TwoClusterRun two_cluster_scenario(bool traced) {
-  auto& rec = obs::TraceRecorder::instance();
+  auto& rec = obs::process_recorder();
   if (traced) {
     rec.enable();
     rec.clear();
@@ -671,7 +671,7 @@ TEST(ReliableAccounting, OnlyRoutedAttemptsReachMessageStats) {
 TEST(LoggerSimTime, TimestampsFollowTheActiveWorldClock) {
   ASSERT_TRUE(kSimtimeEnv);
   std::ostringstream captured;
-  Logger& log = Logger::instance();
+  Logger& log = process_logger();
   const LogLevel old_level = log.level();
   log.set_sink(&captured);
   log.set_level(LogLevel::kInfo);
@@ -693,6 +693,56 @@ TEST(LoggerSimTime, TimestampsFollowTheActiveWorldClock) {
   log.set_sink(nullptr);
   log.set_level(old_level);
   log.reset_counters();
+}
+
+// ---------------------------------------------------------------------------
+// SimContext isolation (the de-globalization contract; the parallel half —
+// interleaved worlds, replica merge order — lives in
+// tests/parallel_runner_test.cpp.  See docs/PARALLELISM.md.)
+// ---------------------------------------------------------------------------
+
+TEST(SimContextIsolation, ContextBoundWorldBypassesProcessObservability) {
+  RecorderScope scope;  // process recorder enabled and empty: leaks would land
+  const std::string process_metrics_before =
+      obs::process_metrics().render_text();
+
+  SimContext ctx(/*root_seed=*/77);
+  ctx.recorder().enable();
+  {
+    World world({}, /*seed=*/77, ctx);
+    QipEngine proto(world.transport(), world.rng(), QipParams{});
+    proto.start_hello();
+    Driver driver(world, proto);
+    driver.join(15);
+    world.run_for(3.0);
+    world.stats().export_to(ctx.metrics());
+  }
+
+  // Everything the run did landed in the context...
+  EXPECT_GT(ctx.recorder().size(), 0u);
+  EXPECT_NE(ctx.metrics().render_text().find("qip_messages_total"),
+            std::string::npos);
+  // ...and nothing reached the process-wide recorder or registry, even with
+  // process tracing switched on.
+  EXPECT_EQ(scope.rec().size(), 0u);
+  EXPECT_EQ(obs::process_metrics().render_text(), process_metrics_before);
+}
+
+TEST(SimContextIsolation, ProcessContextWorldStillFeedsProcessRecorder) {
+  RecorderScope scope;
+  SimContext bystander(/*root_seed=*/5);
+  bystander.recorder().enable();
+
+  World world({}, /*seed=*/42);  // compatibility path: process context
+  QipEngine proto(world.transport(), world.rng(), QipParams{});
+  proto.start_hello();
+  Driver driver(world, proto);
+  driver.join(10);
+  world.run_for(2.0);
+
+  EXPECT_TRUE(world.ctx().is_process_context());
+  EXPECT_GT(scope.rec().size(), 0u);
+  EXPECT_EQ(bystander.recorder().size(), 0u);
 }
 
 }  // namespace

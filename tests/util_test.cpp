@@ -268,7 +268,7 @@ TEST(Assert, PassesSilently) {
 }
 
 TEST(Logging, LevelFilters) {
-  auto& logger = Logger::instance();
+  auto& logger = process_logger();
   const LogLevel before = logger.level();
   std::ostringstream sink;
   logger.set_sink(&sink);

@@ -1,0 +1,46 @@
+# Byte-compares a figure bench's stdout at QIP_JOBS=1 vs QIP_JOBS=4.
+# Invoked by ctest (see tools/CMakeLists.txt) as
+#
+#   cmake -DBENCH=<exe> -P check_jobs_invariance.cmake
+#
+# The parallel-runner contract (docs/PARALLELISM.md): every replication cell
+# runs on its own SimContext with an order-independent derived seed, and
+# cells merge strictly in (x, round) order — so the worker count is pure
+# mechanism and must never show up in the results.  The benches deliberately
+# never print the jobs value, making the outputs directly comparable.
+# QIP_ROUNDS=2 gives the runner at least two cells per x to interleave.
+if(NOT DEFINED BENCH)
+  message(FATAL_ERROR "check_jobs_invariance.cmake needs -DBENCH=...")
+endif()
+
+set(ENV{QIP_ROUNDS} 2)
+
+set(ENV{QIP_JOBS} 1)
+execute_process(
+  COMMAND "${BENCH}"
+  OUTPUT_VARIABLE sequential
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} (QIP_JOBS=1) exited with status ${rc}")
+endif()
+
+set(ENV{QIP_JOBS} 4)
+execute_process(
+  COMMAND "${BENCH}"
+  OUTPUT_VARIABLE parallel
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} (QIP_JOBS=4) exited with status ${rc}")
+endif()
+
+if(NOT parallel STREQUAL sequential)
+  set(dump_a "${CMAKE_CURRENT_BINARY_DIR}/jobs_invariance_j1.txt")
+  set(dump_b "${CMAKE_CURRENT_BINARY_DIR}/jobs_invariance_j4.txt")
+  file(WRITE "${dump_a}" "${sequential}")
+  file(WRITE "${dump_b}" "${parallel}")
+  message(FATAL_ERROR
+      "${BENCH} output changes with QIP_JOBS=4 — the parallel runner "
+      "perturbed the results.\nQIP_JOBS=1: ${dump_a}\nQIP_JOBS=4: ${dump_b}")
+endif()

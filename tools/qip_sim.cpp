@@ -4,10 +4,15 @@
 //           [--nodes N] [--range M] [--speed M/S] [--seed S]
 //           [--duration SECS] [--churn N] [--abrupt RATIO]
 //           [--pool N] [--csv FILE] [--trace FILE] [--quiet]
+//           [--rounds R] [--jobs N]
 //
 // Joins N nodes sequentially, lets them roam for the duration, applies the
 // requested churn (departures + replacement arrivals), and prints a summary
-// plus (optionally) a per-node CSV of configuration records.  With --trace
+// plus (optionally) a per-node CSV of configuration records.  With
+// --rounds R > 1 the whole scenario replicates R times with per-round seeds
+// and the summary reports per-round and mean results; --jobs N (or
+// QIP_JOBS) fans the rounds across worker threads — deterministically, so
+// the report is byte-identical for every jobs value.  With --trace
 // the whole run is recorded as a structured trace (.json loads in
 // chrome://tracing / Perfetto; any other extension gets JSONL) — inspect it
 // with `qip-trace summary <file>`.
@@ -26,8 +31,11 @@
 #include "baselines/weak_dad.hpp"
 #include "core/qip_engine.hpp"
 #include "harness/driver.hpp"
+#include "harness/env.hpp"
+#include "harness/parallel.hpp"
 #include "harness/seed.hpp"
 #include "harness/world.hpp"
+#include "sim/sim_context.hpp"
 #include "obs/trace_io.hpp"
 #include "obs/trace_recorder.hpp"
 #include "obs/trace_session.hpp"
@@ -49,6 +57,8 @@ struct Options {
   std::uint64_t pool = 1024;
   std::string csv_path;
   bool quiet = false;
+  std::uint32_t rounds = 1;
+  std::uint32_t jobs = 1;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -58,7 +68,8 @@ struct Options {
       "boleng]\n"
       "          [--nodes N] [--range M] [--speed M/S] [--seed S]\n"
       "          [--duration SECS] [--churn N] [--abrupt RATIO]\n"
-      "          [--pool N] [--csv FILE] [--trace FILE] [--quiet]\n",
+      "          [--pool N] [--csv FILE] [--trace FILE] [--quiet]\n"
+      "          [--rounds R] [--jobs N]\n",
       argv0);
   std::exit(2);
 }
@@ -68,6 +79,7 @@ Options parse(int argc, char** argv) {
   // Seed override order: --seed beats QIP_SEED beats the default.  The
   // banner (or --quiet runs' CSV consumers) sees the effective value.
   opt.seed = resolve_seed(opt.seed, argc, argv, /*announce=*/false);
+  opt.jobs = jobs_from_env(1);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -96,6 +108,10 @@ Options parse(int argc, char** argv) {
       opt.csv_path = value();
     } else if (arg == "--quiet") {
       opt.quiet = true;
+    } else if (arg == "--rounds") {
+      opt.rounds = parse_positive_u32("--rounds", value());
+    } else if (arg == "--jobs") {
+      opt.jobs = parse_positive_u32("--jobs", value());
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -170,9 +186,95 @@ std::unique_ptr<AutoconfProtocol> make_protocol(const Options& opt,
 
 }  // namespace
 
+namespace {
+
+/// One replication of the scenario on `ctx`, summarized.
+struct RoundSummary {
+  double configured = 0.0;
+  double latency = 0.0;
+  std::uint32_t joins = 0;
+  std::uint64_t protocol_hops = 0;
+};
+
+RoundSummary run_round(const Options& opt, std::uint64_t seed,
+                       SimContext& ctx) {
+  WorldParams wp;
+  wp.transmission_range = opt.range;
+  wp.speed = opt.speed;
+  World world(wp, seed, ctx);
+  auto proto = make_protocol(opt, world);
+  Driver driver(world, *proto);
+  driver.join(opt.nodes);
+  world.run_for(2.0);
+  if (opt.churn > 0) {
+    for (std::uint32_t i = 0; i < opt.churn && !driver.members().empty();
+         ++i) {
+      const NodeId victim =
+          driver.members()[world.rng().index(driver.members().size())];
+      if (world.rng().chance(opt.abrupt)) {
+        driver.depart_abrupt(victim);
+      } else {
+        driver.depart_graceful(victim);
+      }
+      driver.join_one();
+    }
+  }
+  world.run_for(opt.duration);
+  return RoundSummary{driver.configured_fraction(),
+                      driver.mean_config_latency(), driver.joined_count(),
+                      world.stats().protocol_hops()};
+}
+
+/// Replicated mode (--rounds R > 1): per-round seeds from the same
+/// derivation the figure suite uses, rounds fanned across --jobs workers,
+/// merged in round order — so the report never depends on the jobs value.
+int run_replicated(const Options& opt, obs::TraceSession& trace) {
+  if (!opt.csv_path.empty()) {
+    std::fprintf(stderr, "--csv records a single run; drop --rounds\n");
+    return 2;
+  }
+  if (!opt.quiet) {
+    std::printf("qip-sim: %s replication, %u nodes, tr=%.0fm, %.0f m/s, "
+                "seed %llu, %u rounds\n",
+                opt.protocol.c_str(), opt.nodes, opt.range, opt.speed,
+                static_cast<unsigned long long>(opt.seed), opt.rounds);
+  }
+  std::printf("%-6s %-12s %-14s %s\n", "round", "configured%", "latency_hops",
+              "protocol_hops");
+  double cfg = 0.0, lat = 0.0;
+  std::uint64_t hops = 0;
+  run_cells<RoundSummary>(
+      process_context(), opt.jobs, opt.rounds,
+      [&](std::size_t r, SimContext& ctx) {
+        return run_round(opt, derive_cell_seed(opt.seed, 0, r), ctx);
+      },
+      [&](std::size_t r, RoundSummary&& s) {
+        std::printf("%-6zu %-12.1f %-14.2f %llu\n", r, 100.0 * s.configured,
+                    s.latency, static_cast<unsigned long long>(s.protocol_hops));
+        cfg += s.configured;
+        lat += s.latency;
+        hops += s.protocol_hops;
+      });
+  std::printf("mean   %-12.1f %-14.2f %.1f\n", 100.0 * cfg / opt.rounds,
+              lat / opt.rounds,
+              static_cast<double>(hops) / opt.rounds);
+  if (trace.active()) {
+    const std::string path = trace.path();
+    trace.dump();
+    if (!opt.quiet) {
+      std::printf("wrote trace to %s (inspect with: qip-trace summary %s)\n",
+                  path.c_str(), path.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   obs::TraceSession trace(obs::extract_trace_arg(argc, argv));
   const Options opt = parse(argc, argv);
+  if (opt.rounds > 1) return run_replicated(opt, trace);
 
   WorldParams wp;
   wp.transmission_range = opt.range;
