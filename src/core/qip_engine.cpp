@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "fault/adversary.hpp"
 #include "sim/sim_context.hpp"
 #include "quorum/dynamic_linear.hpp"
 #include "util/logging.hpp"
@@ -67,6 +68,8 @@ const char* to_string(QipMsg m) {
     case QipMsg::kRepAck: return "REP_ACK";
     case QipMsg::kReclaimDone: return "RECLAIM_DONE";
     case QipMsg::kMergePoll: return "MERGE_POLL";
+    case QipMsg::kAddrChallenge: return "ADDR_CHALLENGE";
+    case QipMsg::kChallengeAck: return "CHALLENGE_ACK";
   }
   return "?";
 }
@@ -112,6 +115,8 @@ bool QipEngine::quorum_critical(QipMsg m) {
     case QipMsg::kAddrRec:     // flood-borne
     case QipMsg::kRecRep:      // reclamation probes unclaimed holders anyway
     case QipMsg::kMergePoll:   // periodic merge scan
+    case QipMsg::kAddrChallenge:  // challenge timeout IS the signal; an
+    case QipMsg::kChallengeAck:   // acked retry would mask real silence
       return false;
   }
   return false;
@@ -120,6 +125,13 @@ bool QipEngine::quorum_critical(QipMsg m) {
 std::uint64_t QipEngine::audit_domain(NodeId id) const {
   auto it = nodes_.find(id);
   if (it == nodes_.end()) return 0;
+  // A quarantined peer was expelled by the hardened protocol: the network
+  // revoked its claim, so whatever address it keeps squatting on no longer
+  // collides *as far as the protocol's service is concerned*.  A per-node
+  // domain models that expulsion for the uniqueness audit.
+  if (quarantined_.count(id) != 0) {
+    return 0xAD5E'0000'0000'0000ULL ^ static_cast<std::uint64_t>(id);
+  }
   const NetworkId& nid = it->second.network_id;
   // Two healed partitions share a nonce but disagree on the low address
   // until the merge resolves, so both fields feed the tag.
@@ -130,7 +142,10 @@ std::uint64_t QipEngine::audit_domain(NodeId id) const {
 QipEngine::~QipEngine() {
   hello_timer_.cancel();
   for (auto& [id, st] : nodes_) st.cancel_timers();
-  for (auto& [id, txn] : txns_) txn.retry_timer.cancel();
+  for (auto& [id, txn] : txns_) {
+    txn.retry_timer.cancel();
+    txn.round_timer.cancel();
+  }
   for (auto& [id, rec] : reclaims_) rec.settle_timer.cancel();
 }
 
@@ -248,7 +263,8 @@ void QipEngine::start_configuration(NodeId id) {
 std::optional<NodeId> QipEngine::choose_common_allocator(
     NodeId requestor, std::uint64_t& extra_hops) {
   auto heads = clusters_.heads_within(requestor, params_.ch_radius);
-  std::erase_if(heads, [&](NodeId h) { return !alive(h); });
+  std::erase_if(heads,
+                [&](NodeId h) { return !alive(h) || is_quarantined(h); });
   if (heads.empty()) return std::nullopt;
   if (!params_.pick_largest_block || heads.size() == 1) {
     return heads.front();  // nearest (heads_within sorts by distance)
@@ -352,6 +368,14 @@ void QipEngine::become_first_head(NodeId id) {
 
 void QipEngine::enqueue_request(NodeId allocator, PendingRequest req) {
   if (!alive(allocator)) return;
+  // Silent defection: the attacker head accepts the request and drops it on
+  // the floor.  The requestor's own retries (and eventually the rescue
+  // scan) route around it; hardened mode additionally quarantines the head
+  // once the failure detector catches its dropped probe service.
+  if (attack_active(allocator, AttackKind::kSilentDefection)) {
+    ++adversary_ctl()->stats().dropped_services;
+    return;
+  }
   auto& st = node(allocator);
   if (st.role != Role::kClusterHead) {
     // The chosen allocator demoted/dissolved meanwhile; let the requestor
@@ -559,6 +583,10 @@ void QipEngine::start_quorum_round(ConfigTxn& txn) {
   txn.conflicts = 0;
   txn.latest_ts = 0;
   txn.voters.clear();
+  txn.round_timer.cancel();
+  txn.round_open = false;
+  txn.responded.clear();
+  txn.conflict_voters.clear();
 
   // The replica group for `owner`'s space: the owner plus its QDSet.  When
   // the allocator owns the space that is its own QDSet; when borrowing, the
@@ -578,6 +606,16 @@ void QipEngine::start_quorum_round(ConfigTxn& txn) {
     group = rep_it->second.owner_qdset;
     group.insert(txn.owner);
     group.insert(txn.allocator);  // we hold a copy too
+  }
+  // Hardened mode: expelled peers hold no vote — the revocation was itself
+  // a network-wide decision, so every honest allocator excludes the same
+  // set and quorum intersection is preserved.  (No-op while nobody is
+  // quarantined, which is always the case without an adversary.)
+  for (auto it = group.begin(); it != group.end();) {
+    if (*it != txn.allocator && is_quarantined(*it))
+      it = group.erase(it);
+    else
+      ++it;
   }
   txn.group_size = static_cast<std::uint32_t>(group.size());
   txn.distinguished = *group.begin();  // lowest-id member (set is ordered)
@@ -632,6 +670,17 @@ void QipEngine::start_quorum_round(ConfigTxn& txn) {
     }
   }
 
+  // Hardened per-round deadline: a stalled round (voters that accepted the
+  // CLT but never answer) closes early instead of wedging until
+  // txn_timeout, and the silent voters gain suspicion.  Off by default —
+  // honest rounds do stall benignly when a voter drifts out of range.
+  if (harden_on() && txn.outstanding > 0) {
+    txn.round_open = true;
+    txn.round_timer = sim().after(
+        params_.harden.round_timeout,
+        [this, id, round] { harden_round_expired(id, round); });
+  }
+
   // Decide immediately if the quorum is already satisfied (single-head
   // networks, tiny QDSets) or provably unreachable.
   handle_vote(id, round, kNoNode, Vote::kGrant, 0, txn.base_hops);
@@ -649,6 +698,29 @@ void QipEngine::handle_quorum_clt(NodeId voter, NodeId allocator,
                                   const AddressBlock& proposal,
                                   std::uint64_t hops_so_far) {
   if (!alive(voter)) return;
+
+  // Silent defection: the voter swallows the CLT — no vote ever comes back,
+  // the allocator's round stalls.  Unhardened it wedges until txn_timeout;
+  // hardened the round deadline closes it and suspicion accrues.
+  if (attack_active(voter, AttackKind::kSilentDefection)) {
+    ++adversary_ctl()->stats().dropped_services;
+    return;
+  }
+  // False-conflict flooding: veto every proposal sight unseen.  Each veto
+  // makes the allocator surrender the proposed address, so an unhardened
+  // allocator bleeds its pool dry; a hardened one cross-checks vetoes
+  // against its own table (round_failed) and quarantines the flooder.
+  if (attack_active(voter, AttackKind::kConflictFlood)) {
+    ++adversary_ctl()->stats().false_conflicts;
+    send(voter, allocator, QipMsg::kQuorumCfm, Traffic::kConfiguration,
+         hops_so_far,
+         [this, txn_id, round, voter](std::uint64_t h) {
+           handle_vote(txn_id, round, voter, Vote::kConflict, 0, h);
+         },
+         "conflict");
+    return;
+  }
+
   auto& v = node(voter);
 
   Vote vote = Vote::kGrant;
@@ -726,6 +798,10 @@ void QipEngine::handle_vote(std::uint64_t txn_id, std::uint32_t round,
   if (voter != kNoNode) {
     QIP_ASSERT(txn.outstanding > 0);
     --txn.outstanding;
+    if (harden_on()) {
+      txn.responded.insert(voter);
+      if (vote == Vote::kConflict) txn.conflict_voters.insert(voter);
+    }
     if (ctx().tracing_on()) {
       ctx().recorder().instant(
           sim().now(), "vote", "quorum", voter,
@@ -761,10 +837,28 @@ void QipEngine::handle_vote(std::uint64_t txn_id, std::uint32_t round,
 }
 
 void QipEngine::round_failed(ConfigTxn& txn, bool conflict) {
+  txn.round_timer.cancel();
+  txn.round_open = false;
+  auto& a = node(txn.allocator);
+
+  // Hardened veto cross-check: when the allocator owns the proposed space
+  // and its *own authoritative table* says the address is free, a conflict
+  // veto contradicts the one copy that cannot be stale.  Tally suspicion
+  // against each vetoer and retry through the busy path instead of
+  // surrendering the address — the poisoned-vote path to pool exhaustion.
+  // (An honest fresher replica can veto here only transiently, while a
+  // borrowed commit races back to the owner; the busy retry absorbs it.)
+  if (conflict && harden_on() && !txn.for_cluster_head &&
+      txn.owner == txn.allocator && !txn.conflict_voters.empty() &&
+      !a.table.allocated(txn.proposed)) {
+    for (NodeId cv : txn.conflict_voters)
+      add_suspicion(txn.allocator, cv, "veto_contradicts_owner");
+    conflict = false;
+  }
+
   obs_close_round(ctx().recorder(), sim().now(), txn,
                   conflict ? "conflict" : "busy");
   release_grants(txn);
-  auto& a = node(txn.allocator);
 
   if (conflict) {
     // The read found the proposal (partly) taken somewhere fresher: drop the
@@ -840,6 +934,19 @@ void QipEngine::commit_config(ConfigTxn& txn) {
   auto& a = node(txn.allocator);
   const NodeId requestor = txn.requestor;
   const NetworkId net_id = a.network_id;
+
+  // Hardened veto cross-check, commit side: the quorum granted the very
+  // address this voter vetoed.  Quorum redundancy absorbs a minority of
+  // false vetoes without failing the round, so a flooder below the blocking
+  // threshold would otherwise stay invisible forever — but a veto
+  // contradicted by the committed grant is exactly as suspect as one
+  // contradicted by the owner's table in round_failed.  (An honest veto can
+  // land here only through a stale replica racing a borrowed commit;
+  // the suspicion threshold absorbs those.)
+  if (harden_on()) {
+    for (NodeId cv : txn.conflict_voters)
+      add_suspicion(txn.allocator, cv, "veto_contradicts_commit");
+  }
 
   if (txn.for_cluster_head) {
     // Transfer the upper half of our IPSpace to the new head.  Re-validate
@@ -1032,6 +1139,7 @@ void QipEngine::end_txn(ConfigTxn& txn) {
   const std::uint64_t id = txn.id;
   const NodeId allocator = txn.allocator;
   txn.retry_timer.cancel();
+  txn.round_timer.cancel();
   // A round abandoned without resolving (txn timeout) closes here.
   obs_close_round(ctx().recorder(), sim().now(), txn, "abort");
   if (txn.obs_span != 0) {
@@ -1123,10 +1231,19 @@ ReplicaCopy QipEngine::snapshot_space(NodeId source, NodeId owner) const {
   return copy;
 }
 
-void QipEngine::adopt_replica(NodeId holder, const ReplicaCopy& snapshot) {
+void QipEngine::adopt_replica(NodeId holder, const ReplicaCopy& snapshot,
+                              NodeId source) {
   if (!alive(holder)) return;
   auto& h = node(holder);
   if (h.role != Role::kClusterHead) return;
+  // Hardened: a first-time replica must come from its owner (QD_JOIN /
+  // QD_WELCOME do); adopting a stranger's copy wholesale would hand a
+  // poisoner a blank slate.  Existing replicas reconcile below, where
+  // non-owner demotions are verified record by record.
+  if (params_.harden.enabled && source != snapshot.owner &&
+      !h.replicas.count(snapshot.owner)) {
+    return;
+  }
 
   // Self-healing stewardship: if the arriving snapshot claims addresses we
   // also believe we own (a reclamation raced the owner across a partition),
@@ -1166,22 +1283,59 @@ void QipEngine::adopt_replica(NodeId holder, const ReplicaCopy& snapshot) {
     mine.owner_qdset = snapshot.owner_qdset;
     mine.version = snapshot.version;
   }
-  mine.table.merge_newer(snapshot.table);
+  if (params_.harden.enabled && source != snapshot.owner) {
+    // Hardened holder-side merge: promotions (new allocations) are adopted
+    // as usual, but a non-owner snapshot demoting an allocated record to
+    // free is checked with the owner — the one copy that cannot be rolled
+    // back — before being believed.  One charged round trip per demotion;
+    // a contradicted demotion is stripped and earns the sender suspicion.
+    const NodeId owner = snapshot.owner;
+    const bool owner_up = alive(owner) && is_head(owner) &&
+                          topology().has_node(owner) &&
+                          topology().reachable(holder, owner);
+    for (IpAddress a : snapshot.table.known_addresses()) {
+      const AddressRecord theirs = snapshot.table.get(a);
+      const AddressRecord ours = mine.table.get(a);
+      if (theirs.timestamp <= ours.timestamp) continue;
+      const bool demotes = ours.status == AddressStatus::kAllocated &&
+                           theirs.status != AddressStatus::kAllocated;
+      if (demotes && owner_up) {
+        const auto d = topology().hop_distance(holder, owner);
+        if (d) {
+          transport().stats().record(Traffic::kMaintenance, 2ULL * *d, 2);
+          if (node(owner).table.allocated(a)) {
+            add_suspicion(holder, source, "false_demotion");
+            continue;
+          }
+        }
+      }
+      mine.table.install(a, theirs);
+    }
+  } else {
+    mine.table.merge_newer(snapshot.table);
+  }
   mine.free_pool = derive_free_pool(mine.universe, mine.table);
 }
 
 void QipEngine::replicate_update(NodeId source, NodeId owner, Traffic traffic,
                                  std::uint64_t txn_id) {
   if (!alive(source)) return;
-  const ReplicaCopy snapshot = snapshot_space(source, owner);
+  push_snapshot(source, snapshot_space(source, owner), traffic, txn_id);
+}
+
+void QipEngine::push_snapshot(NodeId source, const ReplicaCopy& snapshot,
+                              Traffic traffic, std::uint64_t txn_id) {
+  const NodeId owner = snapshot.owner;
   // Recipients: the owner's replica group as the source knows it.
   std::set<NodeId> group = snapshot.owner_qdset;
   if (source != owner && alive(owner)) group.insert(owner);
   for (NodeId h : group) {
     if (h == source || !alive(h)) continue;
     send(source, h, QipMsg::kQuorumUpd, traffic, 0,
-         [this, h, snapshot, owner, txn_id](std::uint64_t) {
+         [this, h, snapshot, owner, source, txn_id](std::uint64_t) {
            if (!alive(h)) return;
+           // Hardened: an expelled peer's snapshots are discarded unread.
+           if (params_.harden.enabled && is_quarantined(source)) return;
            auto& st = node(h);
            if (h == owner && st.role == Role::kClusterHead) {
              // The owner itself reconciles the fresher view of its own
@@ -1192,10 +1346,14 @@ void QipEngine::replicate_update(NodeId source, NodeId owner, Traffic traffic,
                st.owned_universe = snapshot.universe;
                st.version = snapshot.version;
              }
-             st.table.merge_newer(snapshot.table);
+             if (params_.harden.enabled && source != owner) {
+               merge_table_hardened(h, source, snapshot.table);
+             } else {
+               st.table.merge_newer(snapshot.table);
+             }
              st.ip_space = derive_free_pool(st.owned_universe, st.table);
            } else {
-             adopt_replica(h, snapshot);
+             adopt_replica(h, snapshot, source);
            }
            if (txn_id != 0) {
              auto lock = st.space_locks.find(owner);

@@ -37,6 +37,8 @@
 #include <optional>
 #include <vector>
 
+#include <set>
+
 #include "cluster/cluster_view.hpp"
 #include "core/qip_node.hpp"
 #include "core/qip_params.hpp"
@@ -45,6 +47,10 @@
 #include "net/reliable_channel.hpp"
 
 namespace qip {
+
+class AdversaryController;
+class FailureDetector;
+enum class AttackKind : std::uint8_t;
 
 class QipEngine : public AutoconfProtocol {
  public:
@@ -117,6 +123,28 @@ class QipEngine : public AutoconfProtocol {
   /// All configured addresses: node -> address (sorted for determinism).
   std::map<NodeId, IpAddress> configured_addresses() const;
 
+  // -- Adversary hardening (qip_hardening.cpp, docs/ADVERSARY.md) -----------
+
+  /// Installs a pluggable failure detector (not owned; must outlive the
+  /// engine's run).  The engine feeds each head's QDSet watch-list into it
+  /// every hello scan and treats a suspected member as uncontactable.  With
+  /// no detector the built-in topology oracle stands alone, and the run is
+  /// byte-identical to one that never called this.  Wires the detector's
+  /// evidence callbacks (beacon hearing / probe service) to engine state.
+  void set_failure_detector(FailureDetector* detector);
+  FailureDetector* failure_detector() { return detector_; }
+
+  /// Whether `id` currently answers detector probe pings: configured, radio
+  /// up, and not silently defecting.  SwimDetector's responder callback.
+  bool serves_probes(NodeId id) const;
+
+  /// Peers expelled by hardened mode (network-wide revocation): their claims
+  /// are void, they are excluded from allocation, voting and replica groups.
+  const std::set<NodeId>& quarantined_nodes() const { return quarantined_; }
+  bool is_quarantined(NodeId id) const { return quarantined_.count(id) != 0; }
+  std::uint64_t quarantines() const { return quarantines_; }
+  std::uint64_t challenges_sent() const { return challenges_sent_; }
+
  private:
   // ---- helpers -----------------------------------------------------------
   QipNodeState& node(NodeId id);
@@ -185,10 +213,18 @@ class QipEngine : public AutoconfProtocol {
   /// each recipient (the write round doubles as lock release).
   void replicate_update(NodeId source, NodeId owner, Traffic traffic,
                         std::uint64_t txn_id = 0);
+  /// Delivers `snapshot` (of snapshot.owner's space) from `source` to the
+  /// owner's replica group.  replicate_update = snapshot_space + this; the
+  /// split exists so the adversary layer can push a *corrupted* snapshot
+  /// through the same delivery path honest updates use.
+  void push_snapshot(NodeId source, const ReplicaCopy& snapshot,
+                     Traffic traffic, std::uint64_t txn_id = 0);
   /// Snapshot of `owner`'s space as seen from `source`.
   ReplicaCopy snapshot_space(NodeId source, NodeId owner) const;
-  /// Applies an incoming snapshot at `holder`.
-  void adopt_replica(NodeId holder, const ReplicaCopy& snapshot);
+  /// Applies an incoming snapshot at `holder`.  `source` is the sender
+  /// (hardened mode screens demotions arriving from non-owners).
+  void adopt_replica(NodeId holder, const ReplicaCopy& snapshot,
+                     NodeId source);
 
   // ---- departure (qip_departure.cpp) --------------------------------------
   void depart_common(NodeId id);
@@ -211,6 +247,43 @@ class QipEngine : public AutoconfProtocol {
   void handle_rec_rep(NodeId head, NodeId claimant, NodeId dead_head,
                       IpAddress addr, std::uint64_t hops);
   void finish_reclamation(NodeId dead_head);
+
+  // ---- adversary & hardening (qip_hardening.cpp) --------------------------
+  bool harden_on() const { return params_.harden.enabled; }
+  /// The context's adversary controller when an active plan is installed,
+  /// else nullptr — the one branch honest runs pay.
+  AdversaryController* adversary_ctl() const;
+  /// Is `id` running attack `kind` right now (per the active plan)?
+  bool attack_active(NodeId id, AttackKind kind) const;
+  /// Executes scheduled attacks once per hello tick (squats fire once,
+  /// poison pushes repeat every tick their window is open).
+  void run_adversary_tick();
+  /// One-shot address theft: claim a victim's address + network id without
+  /// any quorum round.  Returns true if a victim existed.
+  bool perform_squat(NodeId attacker);
+  /// Pushes corrupted replica snapshots (allocations demoted to free with
+  /// boosted timestamps) for every space `attacker` holds a copy of.
+  void perform_poison(NodeId attacker);
+  /// Hardened hello-scan pass at `head`: challenge any nearby same-network
+  /// claim its tables bind to a different live holder.
+  void detect_squats(NodeId head);
+  /// Sends kAddrChallenge to `claimant`; no kChallengeAck within
+  /// challenge_timeout quarantines it.
+  void challenge_claim(NodeId head, NodeId claimant, IpAddress addr);
+  /// Tallies one suspicion point at `accuser` against `peer`; crossing
+  /// HardenParams::suspicion_threshold quarantines the peer.
+  void add_suspicion(NodeId accuser, NodeId peer, const char* why);
+  /// Expels `culprit` network-wide (revocation flood charged to the
+  /// accuser's component): excluded from clusters, groups and audits.
+  void quarantine(NodeId accuser, NodeId culprit, const char* why);
+  /// Hardened per-round deadline: closes a stalled quorum round, charging
+  /// suspicion to voters that never answered.
+  void harden_round_expired(std::uint64_t txn_id, std::uint32_t round);
+  /// Hardened owner-side table merge: demotions (allocated -> free) in an
+  /// incoming non-owner snapshot are verified against the recorded holder
+  /// (one charged round trip) and stripped — with suspicion — when false.
+  void merge_table_hardened(NodeId owner, NodeId source,
+                            const AllocationTable& incoming);
 
   // ---- partition & merge (qip_partition.cpp) ------------------------------
   void merge_scan();
@@ -241,6 +314,10 @@ class QipEngine : public AutoconfProtocol {
   EventHandle hello_timer_;
   bool hello_running_ = false;
   TraceSink trace_;
+  FailureDetector* detector_ = nullptr;
+  std::set<NodeId> quarantined_;
+  std::uint64_t quarantines_ = 0;
+  std::uint64_t challenges_sent_ = 0;
 };
 
 }  // namespace qip

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "fault/adversary.hpp"
+#include "net/failure_detector.hpp"
 #include "sim/sim_context.hpp"
 #include "util/logging.hpp"
 
@@ -30,6 +32,10 @@ void QipEngine::stop_hello() {
 }
 
 void QipEngine::hello_tick() {
+  // Scheduled attacks fire first (null-gated: a run with no adversary plan
+  // takes one pointer check and is byte-identical to the seed behavior).
+  run_adversary_tick();
+
   // Every configured node beacons once per interval.  Hellos are metered in
   // their own category and excluded from the paper's overhead figures (all
   // compared protocols beacon equivalently).
@@ -143,11 +149,30 @@ void QipEngine::location_update_scan() {
 void QipEngine::head_neighborhood_scan(NodeId head) {
   auto& st = node(head);
 
-  // 1. Liveness of current QDSet members.
+  // 1. Liveness of current QDSet members.  The topology oracle is the
+  // paper's crash-only detector; an installed FailureDetector layers
+  // *service* evidence on top — a member the oracle can reach but the
+  // detector cannot raise is treated as missing (and, hardened, expelled:
+  // reachable-but-silent is exactly what a silent defector looks like).
   const std::vector<NodeId> members(st.qdset.begin(), st.qdset.end());
+  if (detector_) detector_->observe(head, members);
   for (NodeId v : members) {
-    const bool contactable =
-        alive(v) && topology().has_node(v) && topology().reachable(head, v);
+    bool contactable = alive(v) && topology().has_node(v) &&
+                       topology().reachable(head, v) && !is_quarantined(v);
+    if (!contactable && detector_) {
+      // The oracle already accounts for a crashed or drifted member; probe
+      // evidence accumulated across an outage is uninterpretable and would
+      // condemn an honest member on stale misses the tick it returns.
+      detector_->clear(head, v);
+    }
+    if (contactable && detector_ && detector_->suspects(head, v)) {
+      // Reachable-but-silent is a silent defector's signature — but it is
+      // evidence, not a verdict: quarantine only once the suspicion
+      // threshold accrues (an honest recoverer clears itself with the next
+      // acked probe before reaching it).
+      add_suspicion(head, v, "probe_silence");
+      contactable = false;
+    }
     if (contactable) {
       unsuspect(head, v);
     } else {
@@ -157,9 +182,13 @@ void QipEngine::head_neighborhood_scan(NodeId head) {
 
   // 2. Newly adjacent heads expand the quorum set.
   for (NodeId h : clusters_.heads_within(head, params_.qdset_radius)) {
-    if (!alive(h) || st.qdset.count(h)) continue;
+    if (!alive(h) || is_quarantined(h) || st.qdset.count(h)) continue;
     add_qdset_link(head, h, Traffic::kMaintenance);
   }
+
+  // Hardened squat detection: challenge nearby same-network claims our
+  // tables bind to a different live holder.
+  if (harden_on()) detect_squats(head);
 
   // 3. Replica floor: recruit farther heads when the QDSet got too small.
   if (st.qdset.size() < params_.min_qdset) grow_quorum(head);
@@ -222,7 +251,10 @@ void QipEngine::shrink_quorum(NodeId head, NodeId missing) {
   for (NodeId m : st.qdset) distinguished = std::min(distinguished, m);
   bool distinguished_reachable = (distinguished == head);
   for (NodeId m : st.qdset) {
-    if (m == missing || !alive(m) || !topology().has_node(m)) continue;
+    if (m == missing || !alive(m) || !topology().has_node(m) ||
+        is_quarantined(m)) {
+      continue;
+    }
     const auto d = topology().hop_distance(head, m);
     if (!d) continue;
     transport().stats().record(Traffic::kMaintenance, 2ULL * *d, 2);
@@ -245,19 +277,27 @@ void QipEngine::shrink_quorum(NodeId head, NodeId missing) {
   QIP_DEBUG << "head " << head << " shrinks quorum, excluding " << missing;
 
   // Verify its existence with REP_REQ; no reply within T_r starts address
-  // reclamation for it.
-  const bool sent = send(head, missing, QipMsg::kRepReq, Traffic::kMaintenance,
-                         0, [this, head, missing](std::uint64_t) {
-                           // The head is actually reachable again: rejoin.
-                           if (!alive(head) || !alive(missing)) return;
-                           send(missing, head, QipMsg::kRepAck,
-                                Traffic::kMaintenance, 0,
-                                [this, head, missing](std::uint64_t) {
-                                  if (!alive(head) || !alive(missing)) return;
-                                  add_qdset_link(head, missing,
-                                                 Traffic::kMaintenance);
-                                });
-                         });
+  // reclamation for it.  An expelled (quarantined) member is not probed at
+  // all — its reachability is exactly what must NOT rescue it — so its
+  // space proceeds straight to reclamation.
+  const bool sent =
+      !is_quarantined(missing) &&
+      send(head, missing, QipMsg::kRepReq, Traffic::kMaintenance, 0,
+           [this, head, missing](std::uint64_t) {
+             // The head is actually reachable again: rejoin.
+             if (!alive(head) || !alive(missing)) return;
+             // A silent defector lets the probe die in its queue, so the
+             // T_r timer below runs out and reclamation proceeds.
+             if (attack_active(missing, AttackKind::kSilentDefection)) {
+               ++adversary_ctl()->stats().dropped_services;
+               return;
+             }
+             send(missing, head, QipMsg::kRepAck, Traffic::kMaintenance, 0,
+                  [this, head, missing](std::uint64_t) {
+                    if (!alive(head) || !alive(missing)) return;
+                    add_qdset_link(head, missing, Traffic::kMaintenance);
+                  });
+           });
   if (sent) return;  // reachable after all; REP_ACK path handles rejoin
 
   st.probe_timers[missing] = sim().after(params_.tr, [this, head, missing] {
@@ -271,7 +311,7 @@ void QipEngine::shrink_quorum(NodeId head, NodeId missing) {
     const auto& rep = s.replicas.at(missing);
     NodeId min_alive = head;
     for (NodeId m : rep.owner_qdset) {
-      if (m != missing && alive(m) && is_head(m) &&
+      if (m != missing && alive(m) && is_head(m) && !is_quarantined(m) &&
           topology().has_node(m) && topology().reachable(head, m)) {
         min_alive = std::min(min_alive, m);
       }
@@ -287,13 +327,15 @@ void QipEngine::grow_quorum(NodeId head) {
   for (NodeId h :
        clusters_.heads_within(head, params_.qdset_radius + 2)) {
     if (st.qdset.size() >= params_.min_qdset) break;
-    if (!alive(h) || st.qdset.count(h)) continue;
+    if (!alive(h) || is_quarantined(h) || st.qdset.count(h)) continue;
     add_qdset_link(head, h, Traffic::kMaintenance);
   }
 }
 
 void QipEngine::add_qdset_link(NodeId a, NodeId b, Traffic traffic) {
   if (!is_head(a) || !is_head(b) || a == b) return;
+  // Expelled peers can neither hold nor receive replicas.
+  if (is_quarantined(a) || is_quarantined(b)) return;
   auto& sa = node(a);
   if (sa.qdset.count(b)) return;
   // Heads of different logical networks never pool replicas: the merge
@@ -308,12 +350,12 @@ void QipEngine::add_qdset_link(NodeId a, NodeId b, Traffic traffic) {
          if (!is_head(b)) return;
          auto& sb = node(b);
          sb.qdset.insert(a);
-         adopt_replica(b, mine);
+         adopt_replica(b, mine, a);
          const ReplicaCopy theirs = snapshot_space(b, b);
          send(b, a, QipMsg::kQdWelcome, traffic, 0,
-              [this, a, theirs](std::uint64_t) {
+              [this, a, b, theirs](std::uint64_t) {
                 if (!is_head(a)) return;
-                adopt_replica(a, theirs);
+                adopt_replica(a, theirs, b);
               });
        });
 }
@@ -462,8 +504,10 @@ void QipEngine::finish_reclamation(NodeId dead_head) {
 
   // The dead head may have reappeared during the settle window (transient
   // unreachability, not death): abandon the reclamation, the REP_ACK path
-  // rejoins it.
-  if (alive(dead_head) && topology().has_node(dead_head) &&
+  // rejoins it.  A quarantined head gets no such reprieve — expulsion is
+  // final and its space must be recovered.
+  if (!is_quarantined(dead_head) && alive(dead_head) &&
+      topology().has_node(dead_head) &&
       topology().reachable(initiator, dead_head)) {
     QIP_DEBUG << "reclamation of " << dead_head
               << " abandoned: head reachable again";

@@ -76,6 +76,15 @@ struct QipNodeState {
   /// Members already probed with REP_REQ, awaiting T_r.
   std::map<NodeId, EventHandle> probe_timers;
 
+  /// Hardened mode (docs/ADVERSARY.md): suspicion points this node has
+  /// tallied against peers (unanswered votes, vetoes contradicting the
+  /// owner's table).  Crossing HardenParams::suspicion_threshold
+  /// quarantines the peer.  Empty when hardening is off.
+  std::map<NodeId, std::uint32_t> suspicion;
+  /// Hardened mode: outstanding address challenges — claimant whose hello
+  /// contradicted our table, with the deadline timer for its kChallengeAck.
+  std::map<NodeId, EventHandle> challenge_timers;
+
   /// Common nodes this head administers after UPDATE_LOC (node -> its
   /// configurer as reported, so address returns can be routed, §IV-C.1).
   std::map<NodeId, NodeId> administered;
@@ -109,6 +118,7 @@ struct QipNodeState {
     bootstrap_timer.cancel();
     for (auto& [id, h] : suspect_timers) h.cancel();
     for (auto& [id, h] : probe_timers) h.cancel();
+    for (auto& [id, h] : challenge_timers) h.cancel();
     for (auto& [owner, lock] : space_locks) lock.expiry.cancel();
   }
 };

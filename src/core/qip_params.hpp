@@ -132,6 +132,28 @@ struct QipParams {
   SimTime rpc_retry_timeout = 0.08;
   double rpc_retry_backoff = 2.0;
   std::uint32_t rpc_max_retries = 5;
+
+  /// Adversary hardening (docs/ADVERSARY.md).  Off by default: honest runs
+  /// do see stalled quorum rounds (a voter drifting out of range mid-round
+  /// leaves the CFM undeliverable until txn_timeout), so the hardened round
+  /// timer would fire — and perturb message flows — in every figure bench.
+  /// The adversary tests and ablation_adversary enable it explicitly.
+  struct HardenParams {
+    bool enabled = false;
+    /// Hardened per-round deadline: a quorum round whose votes have not all
+    /// arrived by then is closed early, non-responders gain suspicion, and
+    /// the round retries through the ordinary busy-backoff path.
+    SimTime round_timeout = 2.0;
+    /// Suspicion points a peer accumulates before being quarantined.
+    /// Service suspicion (unanswered quorum votes, timed-out challenges)
+    /// and conflict suspicion (vetoes contradicting the owner's own table)
+    /// are tallied separately per accuser but share this threshold.
+    std::uint32_t suspicion_threshold = 3;
+    /// Deadline for a kChallengeAck after a head challenges an address
+    /// claim that contradicts its table (squat detection).
+    SimTime challenge_timeout = 2.0;
+  };
+  HardenParams harden;
 };
 
 }  // namespace qip

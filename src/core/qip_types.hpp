@@ -48,6 +48,8 @@ enum class QipMsg : std::uint8_t {
   kRepAck,
   kReclaimDone,
   kMergePoll, ///< merge coordination after partition detection
+  kAddrChallenge, ///< hardened mode: prove ownership of a claimed address
+  kChallengeAck,  ///< claimant's reply carrying its configurer's endorsement
 };
 
 const char* to_string(QipMsg m);
@@ -163,6 +165,16 @@ struct ConfigTxn {
   std::uint32_t attempt = 0;       ///< distinct proposals tried
   std::uint32_t busy_retries = 0;  ///< rounds abandoned to lock contention
   EventHandle retry_timer;
+
+  /// Hardened mode (docs/ADVERSARY.md): voters that answered this round
+  /// (any vote counts — suspicion attaches to silence, not dissent), which
+  /// of them vetoed with kConflict (checked against the owner's own table
+  /// when the round fails), and the per-round deadline that closes a
+  /// stalled round early.  All empty/inert when hardening is off.
+  std::set<NodeId> responded;
+  std::set<NodeId> conflict_voters;
+  EventHandle round_timer;
+  bool round_open = false;
 
   /// Observability: open trace-span ids (0 = none) and the outcome label the
   /// transaction span closes with.  Written only behind ctx().tracing_on().

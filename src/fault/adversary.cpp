@@ -1,0 +1,59 @@
+#include "fault/adversary.hpp"
+
+namespace qip {
+
+const char* to_string(AttackKind k) {
+  switch (k) {
+    case AttackKind::kSquat: return "squat";
+    case AttackKind::kConflictFlood: return "conflict_flood";
+    case AttackKind::kReplicaPoison: return "replica_poison";
+    case AttackKind::kSilentDefection: return "silent_defection";
+  }
+  return "?";
+}
+
+AdversaryController::AdversaryController(AdversaryPlan plan)
+    : plan_(std::move(plan)), active_(!plan_.null()) {
+  plan_.validate();
+}
+
+bool AdversaryController::is(NodeId n, AttackKind k, SimTime now) const {
+  if (!active_) return false;
+  for (const auto& a : plan_.attacks) {
+    if (a.node == n && a.kind == k && now >= a.from && now < a.until)
+      return true;
+  }
+  return false;
+}
+
+bool AdversaryController::any(NodeId n, SimTime now) const {
+  if (!active_) return false;
+  for (const auto& a : plan_.attacks) {
+    if (a.node == n && now >= a.from && now < a.until) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> AdversaryController::attackers(AttackKind k,
+                                                   SimTime now) const {
+  std::vector<NodeId> out;
+  if (!active_) return out;
+  for (const auto& a : plan_.attacks) {
+    if (a.kind == k && now >= a.from && now < a.until) out.push_back(a.node);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool AdversaryController::claim_once(NodeId n, AttackKind k, SimTime now) {
+  if (!active_) return false;
+  for (std::size_t i = 0; i < plan_.attacks.size(); ++i) {
+    const auto& a = plan_.attacks[i];
+    if (a.node != n || a.kind != k || now < a.from || now >= a.until) continue;
+    if (fired_.insert(i).second) return true;
+  }
+  return false;
+}
+
+}  // namespace qip

@@ -1,0 +1,62 @@
+// Runtime interpreter of an AdversaryPlan.
+//
+// The controller answers one question — "is node n running attack k right
+// now?" — plus the bookkeeping the engine needs to act each attack exactly
+// once where the attack is a discrete event (a squat happens once per
+// window, a poison push happens once per hello tick).  It draws no
+// randomness and schedules no events of its own: the engine consults it
+// from paths that already run (hello ticks, vote handlers), so attaching a
+// controller with an empty plan is byte-identical to no controller at all.
+//
+// Ownership mirrors FaultInjector: a World owns the controller and
+// publishes it through its SimContext, where the engine finds it.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "fault/adversary_plan.hpp"
+
+namespace qip {
+
+/// What the adversary did, for tests and post-run reports.
+struct AdversaryStats {
+  std::uint64_t squats = 0;             ///< addresses claimed without quorum
+  std::uint64_t false_conflicts = 0;    ///< bogus conflict votes cast
+  std::uint64_t poisoned_snapshots = 0; ///< corrupted replica pushes sent
+  std::uint64_t dropped_services = 0;   ///< requests/votes/probes ignored
+};
+
+class AdversaryController {
+ public:
+  explicit AdversaryController(AdversaryPlan plan);
+
+  bool active() const { return active_; }
+  const AdversaryPlan& plan() const { return plan_; }
+
+  /// True when `n` is inside an open window of attack `k` at `now`.
+  bool is(NodeId n, AttackKind k, SimTime now) const;
+
+  /// True when `n` is inside any open attack window at `now`.
+  bool any(NodeId n, SimTime now) const;
+
+  /// Nodes running attack `k` at `now`, sorted ascending.
+  std::vector<NodeId> attackers(AttackKind k, SimTime now) const;
+
+  /// One-shot latch per plan entry: returns true the first time it is asked
+  /// about an open window of (n, k) and false afterwards.  The engine uses
+  /// it to fire discrete attack actions (the squat) exactly once per window.
+  bool claim_once(NodeId n, AttackKind k, SimTime now);
+
+  AdversaryStats& stats() { return stats_; }
+  const AdversaryStats& stats() const { return stats_; }
+
+ private:
+  AdversaryPlan plan_;
+  bool active_;
+  std::set<std::size_t> fired_;  ///< plan indices already claimed
+  AdversaryStats stats_;
+};
+
+}  // namespace qip

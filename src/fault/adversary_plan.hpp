@@ -1,0 +1,97 @@
+// Declarative description of the Byzantine behavior a run injects.
+//
+// The FaultPlan models *honest* faults — crashes, loss, jitter — against
+// which the paper's machinery was designed.  An AdversaryPlan models the
+// half the paper does not treat: nodes that stay up, stay reachable, and
+// deliberately misuse the protocol.  Like a FaultPlan, it is pure data:
+// which nodes turn attacker, what attack they run, and during which sim-time
+// window.  The engine interprets it (see core/qip_hardening.cpp); an empty
+// plan leaves every run byte-identical to one with no adversary attached.
+//
+// Threat model and attack catalog: docs/ADVERSARY.md.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "sim/event_queue.hpp"
+#include "util/assert.hpp"
+
+namespace qip {
+
+/// The attack a flipped node runs while its window is open.
+enum class AttackKind : std::uint8_t {
+  /// Claims an address already held by another node, without running the
+  /// quorum protocol — the direct assault on the uniqueness invariant.
+  kSquat,
+  /// Votes "conflict" on every QUORUM_CLT it receives, stalling honest
+  /// configuration transactions and bleeding the allocator's free pool
+  /// (failed conflict rounds drop the proposal from the pool).
+  kConflictFlood,
+  /// Pushes corrupted replica snapshots of spaces it holds copies of:
+  /// allocated records flipped to free with inflated timestamps, so honest
+  /// holders re-issue addresses that are still in use.
+  kReplicaPoison,
+  /// Stops serving protocol requests (entry requests, quorum votes, liveness
+  /// probes) while continuing to beacon — invisible to hello-timeout
+  /// detection, the motivating case for the SWIM detector.
+  kSilentDefection,
+};
+
+const char* to_string(AttackKind k);
+
+/// One node's attack assignment: `node` runs `kind` while
+/// `from <= now < until`.  `until` defaults to +inf (never repents).
+struct AttackSpec {
+  NodeId node = kNoNode;
+  AttackKind kind = AttackKind::kSquat;
+  SimTime from = 0.0;
+  SimTime until = std::numeric_limits<SimTime>::infinity();
+};
+
+struct AdversaryPlan {
+  std::vector<AttackSpec> attacks;
+
+  /// True when the plan flips nobody.
+  bool null() const { return attacks.empty(); }
+
+  /// Rejects malformed plans at construction (mirrors FaultPlan::validate):
+  /// missing node ids, inverted or negative windows, and overlapping windows
+  /// for the same (node, kind) pair — which would double-count every attack
+  /// action — all throw InvariantViolation with a message naming the entry.
+  void validate() const {
+    for (const auto& a : attacks) {
+      QIP_ASSERT_MSG(a.node != kNoNode, "AdversaryPlan attack without a node");
+      QIP_ASSERT_MSG(a.from >= 0.0, "AdversaryPlan attack on node "
+                                        << a.node
+                                        << " starts at negative time "
+                                        << a.from);
+      QIP_ASSERT_MSG(a.until >= a.from,
+                     "AdversaryPlan attack on node "
+                         << a.node << " window [" << a.from << ", " << a.until
+                         << ") ends before it starts");
+    }
+    std::vector<AttackSpec> sorted = attacks;
+    std::sort(sorted.begin(), sorted.end(), [](const auto& x, const auto& y) {
+      if (x.node != y.node) return x.node < y.node;
+      if (x.kind != y.kind) return x.kind < y.kind;
+      return x.from < y.from;
+    });
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      const auto& prev = sorted[i - 1];
+      const auto& cur = sorted[i];
+      QIP_ASSERT_MSG(prev.node != cur.node || prev.kind != cur.kind ||
+                         cur.from >= prev.until,
+                     "AdversaryPlan node "
+                         << cur.node << " has overlapping "
+                         << to_string(cur.kind) << " windows [" << prev.from
+                         << ", " << prev.until << ") and [" << cur.from
+                         << ", " << cur.until << ")");
+    }
+  }
+};
+
+}  // namespace qip

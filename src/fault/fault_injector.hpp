@@ -27,7 +27,9 @@ struct FaultStats {
 class FaultInjector {
  public:
   explicit FaultInjector(FaultPlan plan)
-      : plan_(std::move(plan)), rng_(plan_.seed), active_(!plan_.null()) {}
+      : plan_(std::move(plan)), rng_(plan_.seed), active_(!plan_.null()) {
+    plan_.validate();
+  }
 
   bool active() const { return active_; }
   const FaultPlan& plan() const { return plan_; }

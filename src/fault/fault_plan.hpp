@@ -10,11 +10,13 @@
 // byte-identical to one with no injector attached.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "net/node_id.hpp"
 #include "sim/event_queue.hpp"
+#include "util/assert.hpp"
 
 namespace qip {
 
@@ -60,6 +62,77 @@ struct FaultPlan {
   bool null() const {
     return drop <= 0.0 && duplicate <= 0.0 && max_jitter <= 0.0 &&
            link_outages.empty() && node_outages.empty();
+  }
+
+  /// Rejects malformed plans with a clear InvariantViolation instead of the
+  /// silent misbehavior they would otherwise cause (a negative drop rate
+  /// never drops, an inverted outage window never fires, two overlapping
+  /// windows for the same node double-judge every delivery).  Called by the
+  /// FaultInjector constructor, so a bad plan fails at construction — before
+  /// a single event runs.
+  void validate() const {
+    auto probability = [](double p, const char* what) {
+      QIP_ASSERT_MSG(p >= 0.0 && p <= 1.0,
+                     "FaultPlan." << what << " = " << p
+                                  << " is not a probability in [0, 1]");
+    };
+    probability(drop, "drop");
+    probability(duplicate, "duplicate");
+    QIP_ASSERT_MSG(max_jitter >= 0.0,
+                   "FaultPlan.max_jitter = " << max_jitter << " is negative");
+
+    auto window = [](SimTime from, SimTime until, const char* what) {
+      QIP_ASSERT_MSG(from >= 0.0,
+                     "FaultPlan " << what << " starts at negative time "
+                                  << from);
+      QIP_ASSERT_MSG(until >= from, "FaultPlan " << what << " window ["
+                                                 << from << ", " << until
+                                                 << ") ends before it starts");
+    };
+
+    std::vector<NodeOutage> nodes = node_outages;
+    for (const auto& o : nodes) {
+      QIP_ASSERT_MSG(o.node != kNoNode, "FaultPlan node outage without a node");
+      window(o.from, o.until, "node outage");
+    }
+    std::sort(nodes.begin(), nodes.end(), [](const auto& a, const auto& b) {
+      return a.node != b.node ? a.node < b.node : a.from < b.from;
+    });
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+      const auto& prev = nodes[i - 1];
+      const auto& cur = nodes[i];
+      QIP_ASSERT_MSG(prev.node != cur.node || cur.from >= prev.until,
+                     "FaultPlan node " << cur.node
+                                       << " has overlapping outage windows ["
+                                       << prev.from << ", " << prev.until
+                                       << ") and [" << cur.from << ", "
+                                       << cur.until << ")");
+    }
+
+    std::vector<LinkOutage> links = link_outages;
+    for (auto& o : links) {
+      QIP_ASSERT_MSG(o.a != kNoNode && o.b != kNoNode,
+                     "FaultPlan link outage without both endpoints");
+      QIP_ASSERT_MSG(o.a != o.b, "FaultPlan link outage with a == b == "
+                                     << o.a);
+      window(o.from, o.until, "link outage");
+      if (o.b < o.a) std::swap(o.a, o.b);  // canonical endpoint order
+    }
+    std::sort(links.begin(), links.end(), [](const auto& a, const auto& b) {
+      if (a.a != b.a) return a.a < b.a;
+      if (a.b != b.b) return a.b < b.b;
+      return a.from < b.from;
+    });
+    for (std::size_t i = 1; i < links.size(); ++i) {
+      const auto& prev = links[i - 1];
+      const auto& cur = links[i];
+      QIP_ASSERT_MSG(
+          prev.a != cur.a || prev.b != cur.b || cur.from >= prev.until,
+          "FaultPlan link {" << cur.a << ", " << cur.b
+                             << "} has overlapping outage windows ["
+                             << prev.from << ", " << prev.until << ") and ["
+                             << cur.from << ", " << cur.until << ")");
+    }
   }
 };
 

@@ -1,7 +1,9 @@
 #include "harness/auditor.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <sstream>
 
 #include "core/qip_engine.hpp"
@@ -39,28 +41,42 @@ void UniquenessAuditor::check_now() {
   // schemes opt out entirely (audit_uniqueness()); the leak check below
   // still runs for them.
   if (proto_.audit_uniqueness()) {
-    std::map<std::pair<std::uint64_t, IpAddress>, SimTime> live;
+    const SimTime now = sim_.now();
+    std::set<std::pair<std::uint64_t, IpAddress>> observed;
     // The components partition is epoch-cached: probes between movement
     // steps reuse the same partition instead of re-running a full BFS sweep.
     for (const auto& component : topology_.components_view()) {
-      std::map<std::pair<std::uint64_t, IpAddress>, NodeId> seen;
+      std::map<std::pair<std::uint64_t, IpAddress>, std::vector<NodeId>>
+          holders;
       for (NodeId id : component) {
         const auto addr = proto_.address_of(id);
         if (!addr) continue;
-        const std::uint64_t domain = proto_.audit_domain(id);
-        const auto key = std::make_pair(domain, *addr);
-        const auto [it, fresh] = seen.emplace(key, id);
-        if (fresh) continue;
-        const auto prev = first_seen_.find(key);
-        const SimTime since =
-            prev == first_seen_.end() ? sim_.now() : prev->second;
-        live.emplace(key, since);
-        if (sim_.now() - since < grace_) continue;
+        holders[{proto_.audit_domain(id), *addr}].push_back(id);
+      }
+      for (auto& [key, hs] : holders) {
+        if (hs.size() < 2) continue;
+        std::sort(hs.begin(), hs.end());
+        auto [pit, new_conflict] = pending_.try_emplace(key);
+        PendingConflict& pc = pit->second;
+        // The clock continues across observation gaps and holder-set growth
+        // (see the header); it restarts only for a genuinely new conflict —
+        // first sighting, or a re-collision that shares fewer than two
+        // holders with the previous one (the old conflict resolved).
+        std::vector<NodeId> carried;
+        std::set_intersection(pc.holders.begin(), pc.holders.end(),
+                              hs.begin(), hs.end(),
+                              std::back_inserter(carried));
+        if (new_conflict || carried.size() < 2) pc.since = now;
+        pc.holders = hs;
+        pc.last_seen = now;
+        observed.insert(key);
+        if (now - pc.since < grace_) continue;
         std::ostringstream diff;
-        diff << "duplicate address at t=" << sim_.now() << ": " << *addr
-             << " held by nodes " << it->second << " and " << id
-             << " in the same connected component since t=" << since
-             << " (grace " << grace_ << "s exceeded; domain " << domain
+        diff << "duplicate address at t=" << now << ": " << key.second
+             << " held by nodes " << hs[0] << " and " << hs[1];
+        if (hs.size() > 2) diff << " (and " << hs.size() - 2 << " more)";
+        diff << " in the same connected component since t=" << pc.since
+             << " (grace " << grace_ << "s exceeded; domain " << key.first
              << ", protocol " << proto_.name() << ")";
         // Observe-only escape hatch for debugging conflict timelines.
         if (std::getenv("QIP_AUDIT_TRACE")) {
@@ -70,7 +86,15 @@ void UniquenessAuditor::check_now() {
         QIP_ASSERT_MSG(false, diff.str());
       }
     }
-    first_seen_ = std::move(live);  // resolved conflicts reset their clock
+    // Unobserved conflicts are carried, clock intact, until they have been
+    // quiet for a full grace period — only then are they considered
+    // resolved rather than flickering.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (!observed.count(it->first) && now - it->second.last_seen > grace_)
+        it = pending_.erase(it);
+      else
+        ++it;
+    }
   }
 
   // Leak check (QIP): the engine must not retain addressed state for a node

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <map>
 #include <utility>
+#include <vector>
 
 #include "addr/ip_address.hpp"
 #include "net/protocol.hpp"
@@ -51,17 +52,34 @@ class UniquenessAuditor {
   std::uint64_t checks() const { return checks_; }
 
   /// Conflicts currently inside their grace window (0 on a healthy net).
-  std::size_t conflicts_pending() const { return first_seen_.size(); }
+  /// Includes conflicts temporarily unobservable (a holder drifted out of
+  /// the component) that have not yet been quiet for a full grace period.
+  std::size_t conflicts_pending() const { return pending_.size(); }
 
  private:
+  /// One live duplicate-address conflict.  The clock (`since`) survives
+  /// observation gaps: a holder that departs and re-enters inside the grace
+  /// window must not reset the window, or a flickering node could mask a
+  /// genuine duplicate indefinitely.  It also survives the holder *set*
+  /// evolving (a third claimant piling onto an existing duplicate must not
+  /// restart it): the clock restarts only when fewer than two current
+  /// holders were part of the previous observation — i.e. the old conflict
+  /// resolved and a genuinely new collision arose — or after a full grace
+  /// period with the conflict unobserved.
+  struct PendingConflict {
+    SimTime since = 0.0;      ///< first observation of this conflict
+    SimTime last_seen = 0.0;  ///< latest audit tick it was observed
+    std::vector<NodeId> holders;  ///< sorted holders at last observation
+  };
+
   Simulator& sim_;
   const Topology& topology_;
   const AutoconfProtocol& proto_;
   SimTime grace_;
   std::uint64_t probe_token_ = 0;
   std::uint64_t checks_ = 0;
-  /// When each live conflict (audit domain, address) was first observed.
-  std::map<std::pair<std::uint64_t, IpAddress>, SimTime> first_seen_;
+  /// Live conflicts by (audit domain, address).
+  std::map<std::pair<std::uint64_t, IpAddress>, PendingConflict> pending_;
 };
 
 }  // namespace qip

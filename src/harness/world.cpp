@@ -28,6 +28,8 @@ World::World(const WorldParams& params, std::uint64_t seed, SimContext& ctx)
 World::~World() {
   ctx_->logger().clear_time_source(this);
   if (faults_ && ctx_->faults() == faults_.get()) ctx_->set_faults(nullptr);
+  if (adversary_ && ctx_->adversary() == adversary_.get())
+    ctx_->set_adversary(nullptr);
 }
 
 FaultInjector& World::enable_faults(const FaultPlan& plan) {
@@ -41,6 +43,18 @@ void World::disable_faults() {
   if (faults_ && ctx_->faults() == faults_.get()) ctx_->set_faults(nullptr);
   transport_.set_fault_injector(nullptr);
   faults_.reset();
+}
+
+AdversaryController& World::enable_adversary(const AdversaryPlan& plan) {
+  adversary_ = std::make_unique<AdversaryController>(plan);
+  ctx_->set_adversary(adversary_.get());
+  return *adversary_;
+}
+
+void World::disable_adversary() {
+  if (adversary_ && ctx_->adversary() == adversary_.get())
+    ctx_->set_adversary(nullptr);
+  adversary_.reset();
 }
 
 UniquenessAuditor& World::audit(const AutoconfProtocol& proto,

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/adversary.hpp"
 #include "fault/fault_injector.hpp"
 #include "geom/rect.hpp"
 #include "harness/auditor.hpp"
@@ -62,6 +63,15 @@ class World {
   FaultInjector* faults() { return faults_.get(); }
   const FaultInjector* faults() const { return faults_.get(); }
 
+  /// Installs an adversary plan (replacing any previous one), publishing the
+  /// controller through this world's SimContext where protocol engines find
+  /// it.  A null plan leaves the run byte-identical to one that never called
+  /// this; attacks engage only while their sim-time windows are open.
+  AdversaryController& enable_adversary(const AdversaryPlan& plan);
+  void disable_adversary();
+  AdversaryController* adversary() { return adversary_.get(); }
+  const AdversaryController* adversary() const { return adversary_.get(); }
+
   /// Attaches a UniquenessAuditor to `proto`, owned by the world — for
   /// scenarios that drive a protocol without a Driver (which installs and
   /// owns its own auditor).  The auditor is a read-only simulator probe: it
@@ -90,6 +100,7 @@ class World {
   Transport transport_;
   MobilityManager mobility_;
   std::unique_ptr<FaultInjector> faults_;
+  std::unique_ptr<AdversaryController> adversary_;
   std::vector<std::unique_ptr<UniquenessAuditor>> auditors_;
 };
 

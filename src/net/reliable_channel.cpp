@@ -60,6 +60,7 @@ void ReliableChannel::arm_timer(std::uint64_t seq) {
     if (pit == pending_.end()) return;  // acked meanwhile
     if (pit->second.tries > params_.max_retries) {
       ++gave_up_;
+      ++gave_up_by_dest_[pit->second.to];
       if (transport_.ctx().tracing_on()) {
         transport_.ctx().recorder().instant(
             transport_.sim().now(), "give_up", "rpc", pit->second.from,

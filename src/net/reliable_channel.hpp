@@ -69,6 +69,13 @@ class ReliableChannel {
   std::uint64_t gave_up() const { return gave_up_; }
   std::uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
   std::size_t in_flight() const { return pending_.size(); }
+  /// Exhausted-retry give-ups toward one destination — the channel-level
+  /// symptom of a peer that accepts routes but never acks.  Hardened
+  /// engines read this as corroborating evidence against a suspect.
+  std::uint64_t gave_up_to(NodeId to) const {
+    const auto it = gave_up_by_dest_.find(to);
+    return it == gave_up_by_dest_.end() ? 0 : it->second;
+  }
 
  private:
   struct Pending {
@@ -98,6 +105,7 @@ class ReliableChannel {
   std::uint64_t acks_received_ = 0;
   std::uint64_t gave_up_ = 0;
   std::uint64_t duplicates_suppressed_ = 0;
+  std::unordered_map<NodeId, std::uint64_t> gave_up_by_dest_;
 };
 
 }  // namespace qip

@@ -38,6 +38,7 @@
 namespace qip {
 
 class FaultInjector;
+class AdversaryController;
 
 class SimContext {
  public:
@@ -76,6 +77,14 @@ class SimContext {
   FaultInjector* faults() const { return faults_; }
   void set_faults(FaultInjector* f) { faults_ = f; }
 
+  /// Active adversary controller, if any (owned elsewhere — usually by a
+  /// World).  Protocol engines resolve it here, the same way transports
+  /// resolve the fault injector: per-run state travels with the context, so
+  /// parallel cells with different adversary plans never observe each other,
+  /// and the detector/attack timers they derive stay inside their own run.
+  AdversaryController* adversary() const { return adversary_; }
+  void set_adversary(AdversaryController* a) { adversary_ = a; }
+
   /// Whether this context aliases the process-wide logger/recorder/registry.
   bool is_process_context() const { return !owned_logger_; }
 
@@ -101,6 +110,7 @@ class SimContext {
   Rng rng_;
   std::uint64_t root_seed_;
   FaultInjector* faults_ = nullptr;
+  AdversaryController* adversary_ = nullptr;
 };
 
 /// The process-default context (compatibility shim): wraps the process-wide

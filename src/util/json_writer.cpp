@@ -1,0 +1,134 @@
+#include "util/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double d) {
+  // JSON has no NaN/Inf; benches should never produce them, and silently
+  // emitting "null" would hide the bug downstream.
+  QIP_ASSERT_MSG(std::isfinite(d), "non-finite double in JSON output");
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", d);
+  out += buf;
+}
+
+void indent(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+}  // namespace
+
+JsonValue& JsonValue::set(std::string key, JsonValue value) {
+  QIP_ASSERT_MSG(is_object(), "JsonValue::set on a non-object");
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+  QIP_ASSERT_MSG(is_array(), "JsonValue::push on a non-array");
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+void JsonValue::emit(std::string& out, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%lld",
+                    static_cast<long long>(int_));
+      out += buf;
+      break;
+    }
+    case Kind::kDouble:
+      append_double(out, double_);
+      break;
+    case Kind::kString:
+      append_escaped(out, string_);
+      break;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        indent(out, depth + 1);
+        append_escaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.emit(out, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += '\n';
+      }
+      indent(out, depth);
+      out += '}';
+      break;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        indent(out, depth + 1);
+        elements_[i].emit(out, depth + 1);
+        if (i + 1 < elements_.size()) out += ',';
+        out += '\n';
+      }
+      indent(out, depth);
+      out += ']';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  emit(out, 0);
+  out += '\n';
+  return out;
+}
+
+bool JsonValue::write_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << dump();
+  return static_cast<bool>(f);
+}
+
+}  // namespace qip

@@ -1,0 +1,74 @@
+// Minimal JSON emitter for machine-readable bench artifacts.
+//
+// Benches print human tables; CI and the plotting scripts want stable JSON
+// (BENCH_*.json at the repo root).  This is a writer only — no parsing, no
+// dependency — with insertion-ordered objects so emitted files diff cleanly
+// run over run.  Values cover exactly what bench reports need: objects,
+// arrays, strings, integers, doubles and booleans.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qip {
+
+class JsonValue {
+ public:
+  /// Scalar constructors.
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double d) : kind_(Kind::kDouble), double_(d) {}
+  JsonValue(std::int64_t i) : kind_(Kind::kInt), int_(i) {}
+  JsonValue(std::uint64_t u) : JsonValue(static_cast<std::int64_t>(u)) {}
+  JsonValue(int i) : JsonValue(static_cast<std::int64_t>(i)) {}
+  JsonValue(unsigned u) : JsonValue(static_cast<std::int64_t>(u)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+
+  /// Object member (insertion order preserved; duplicate keys appended
+  /// verbatim — callers own key uniqueness).  Returns *this for chaining.
+  JsonValue& set(std::string key, JsonValue value);
+
+  /// Array element.  Returns *this for chaining.
+  JsonValue& push(JsonValue value);
+
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Serializes with two-space indentation and a trailing newline at the
+  /// top level (the form `git diff` and CMake's string(JSON) both like).
+  std::string dump() const;
+
+  /// Writes dump() to `path` atomically enough for bench use (truncate +
+  /// write).  Returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kObject, kArray };
+
+  void emit(std::string& out, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, JsonValue>> members_;  ///< object
+  std::vector<JsonValue> elements_;                         ///< array
+};
+
+}  // namespace qip

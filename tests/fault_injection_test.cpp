@@ -228,5 +228,92 @@ TEST(FaultStress, QipSurvivesLossCrashesAndOutages) {
   EXPECT_GE(static_cast<double>(ok) / d.members().size(), 0.8);
 }
 
+// ---------------------------------------------------------------------------
+// Plan validation: a malformed plan must die at construction with a clear
+// message, not silently misbehave mid-run (a negative drop never drops, an
+// inverted window never fires, overlapping windows double-judge deliveries).
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanValidation, WellFormedPlansPass) {
+  FaultPlan plan;
+  EXPECT_NO_THROW(plan.validate());  // null plan is trivially valid
+
+  plan.drop = 0.2;
+  plan.duplicate = 1.0;
+  plan.max_jitter = 0.05;
+  plan.node_outages = {{.node = 3, .from = 1.0, .until = 2.0},
+                       {.node = 3, .from = 2.0, .until = 3.0},  // abuts: fine
+                       {.node = 4, .from = 1.5, .until = 2.5}};
+  plan.link_outages = {{.a = 0, .b = 1, .from = 0.0, .until = 5.0},
+                       {.a = 1, .b = 2, .from = 2.0, .until = 4.0}};
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_NO_THROW(FaultInjector{plan});
+}
+
+TEST(FaultPlanValidation, RejectsOutOfRangeProbabilities) {
+  FaultPlan plan;
+  plan.drop = 1.5;
+  EXPECT_THROW(plan.validate(), InvariantViolation);
+  plan.drop = -0.1;
+  EXPECT_THROW(plan.validate(), InvariantViolation);
+  plan.drop = 0.0;
+  plan.duplicate = 2.0;
+  EXPECT_THROW(plan.validate(), InvariantViolation);
+}
+
+TEST(FaultPlanValidation, RejectsNegativeJitter) {
+  FaultPlan plan;
+  plan.max_jitter = -0.01;
+  EXPECT_THROW(plan.validate(), InvariantViolation);
+}
+
+TEST(FaultPlanValidation, RejectsOutageWithoutANode) {
+  FaultPlan plan;
+  plan.node_outages = {{.from = 0.0, .until = 1.0}};  // node left at kNoNode
+  EXPECT_THROW(plan.validate(), InvariantViolation);
+}
+
+TEST(FaultPlanValidation, RejectsInvertedOrNegativeWindows) {
+  FaultPlan plan;
+  plan.node_outages = {{.node = 1, .from = 5.0, .until = 2.0}};
+  EXPECT_THROW(plan.validate(), InvariantViolation);
+  plan.node_outages = {{.node = 1, .from = -1.0, .until = 2.0}};
+  EXPECT_THROW(plan.validate(), InvariantViolation);
+}
+
+TEST(FaultPlanValidation, RejectsOverlappingNodeWindows) {
+  FaultPlan plan;
+  plan.node_outages = {{.node = 7, .from = 0.0, .until = 10.0},
+                       {.node = 7, .from = 5.0, .until = 15.0}};
+  EXPECT_THROW(plan.validate(), InvariantViolation);
+}
+
+TEST(FaultPlanValidation, RejectsDegenerateLinks) {
+  FaultPlan plan;
+  plan.link_outages = {{.a = 3, .b = 3, .from = 0.0, .until = 1.0}};
+  EXPECT_THROW(plan.validate(), InvariantViolation);
+  plan.link_outages = {{.a = 3, .from = 0.0, .until = 1.0}};  // b missing
+  EXPECT_THROW(plan.validate(), InvariantViolation);
+}
+
+TEST(FaultPlanValidation, RejectsOverlappingLinkWindowsEitherDirection) {
+  FaultPlan plan;
+  // Same physical link written with swapped endpoints: canonicalization
+  // must still catch the overlap.
+  plan.link_outages = {{.a = 1, .b = 2, .from = 0.0, .until = 10.0},
+                       {.a = 2, .b = 1, .from = 5.0, .until = 15.0}};
+  EXPECT_THROW(plan.validate(), InvariantViolation);
+}
+
+TEST(FaultPlanValidation, InjectorConstructionValidates) {
+  FaultPlan plan;
+  plan.drop = 7.0;
+  // The injector front-loads validation: a bad plan fails before a single
+  // event runs, whether built directly or installed through a World.
+  EXPECT_THROW(FaultInjector{plan}, InvariantViolation);
+  World world({}, /*seed=*/1);
+  EXPECT_THROW(world.enable_faults(plan), InvariantViolation);
+}
+
 }  // namespace
 }  // namespace qip

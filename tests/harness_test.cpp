@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <map>
 
 #include "core/qip_engine.hpp"
 #include "harness/driver.hpp"
@@ -164,6 +165,120 @@ TEST(Figures, FigureDataRenders) {
   const std::string out = fig.render();
   EXPECT_NE(out.find("t"), std::string::npos);
   EXPECT_NE(out.find("4.00"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// UniquenessAuditor grace-window edges.  The conflict clock must survive a
+// holder flickering out of the component and back — otherwise a node that
+// departs and re-enters inside the healing grace masks a genuine duplicate
+// indefinitely — and must survive extra claimants piling on, while a
+// genuinely *new* collision on a previously-conflicted address still gets a
+// fresh window.
+// ---------------------------------------------------------------------------
+
+/// Scripted protocol: the test dictates every address; nothing else runs.
+class ScriptedProtocol : public AutoconfProtocol {
+ public:
+  using AutoconfProtocol::AutoconfProtocol;
+  std::string name() const override { return "scripted"; }
+  void node_entered(NodeId) override {}
+  void node_departing(NodeId) override {}
+  void node_left(NodeId) override {}
+  void node_vanished(NodeId) override {}
+  std::optional<IpAddress> address_of(NodeId id) const override {
+    const auto it = addresses.find(id);
+    if (it == addresses.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::map<NodeId, IpAddress> addresses;
+};
+
+struct AuditorFixture : ::testing::Test {
+  AuditorFixture() {
+    topo.add_node(1, {0.0, 0.0});
+    topo.add_node(2, {10.0, 0.0});
+  }
+
+  Simulator sim;
+  Topology topo{Rect{1000.0, 1000.0}, 120.0};
+  MessageStats stats;
+  Transport transport{sim, topo, stats, 0.01};
+  Rng rng{99};
+  ScriptedProtocol proto{transport, rng};
+  // Huge probe period: every audit below is an explicit check_now() call at
+  // a clock position set with sim.run().
+  UniquenessAuditor auditor{sim, topo, proto, /*period=*/1e9, /*grace=*/10.0};
+  const IpAddress kAddr{0x0A000001};
+};
+
+TEST_F(AuditorFixture, FlickeringHolderCannotResetTheGraceClock) {
+  proto.addresses = {{1, kAddr}, {2, kAddr}};
+  auditor.check_now();  // conflict first observed at t=0
+  EXPECT_EQ(auditor.conflicts_pending(), 1u);
+
+  sim.run(4.0);
+  topo.remove_node(2);  // holder drifts out: conflict unobservable
+  EXPECT_NO_THROW(auditor.check_now());
+  sim.run(8.0);
+  topo.add_node(2, {10.0, 0.0});  // ...and re-enters inside the grace window
+  EXPECT_NO_THROW(auditor.check_now());  // clock continued: 8 < 10 still
+
+  // The window is measured from t=0, not from the re-entry: the duplicate
+  // becomes fatal at t=10, not t=18.
+  sim.run(11.0);
+  EXPECT_THROW(auditor.check_now(), InvariantViolation);
+}
+
+TEST_F(AuditorFixture, ThirdClaimantDoesNotRestartTheClock) {
+  proto.addresses = {{1, kAddr}, {2, kAddr}};
+  auditor.check_now();
+  sim.run(5.0);
+  topo.add_node(3, {20.0, 0.0});
+  proto.addresses[3] = kAddr;  // piles onto the existing duplicate
+  EXPECT_NO_THROW(auditor.check_now());
+  sim.run(11.0);
+  EXPECT_THROW(auditor.check_now(), InvariantViolation);
+}
+
+TEST_F(AuditorFixture, NewCollisionOnOldAddressGetsAFreshWindow) {
+  proto.addresses = {{1, kAddr}, {2, kAddr}};
+  auditor.check_now();
+  sim.run(5.0);
+  // The original conflict resolves; two different nodes then collide on the
+  // same address.  Fewer than two holders carry over, so this is a new
+  // conflict with its own grace window starting at t=5.
+  topo.add_node(3, {20.0, 0.0});
+  topo.add_node(4, {30.0, 0.0});
+  proto.addresses = {{1, IpAddress{0x0A000002}},
+                     {2, IpAddress{0x0A000003}},
+                     {3, kAddr},
+                     {4, kAddr}};
+  EXPECT_NO_THROW(auditor.check_now());
+  sim.run(12.0);
+  EXPECT_NO_THROW(auditor.check_now());  // 7 s into the new window
+  sim.run(16.0);
+  EXPECT_THROW(auditor.check_now(), InvariantViolation);
+}
+
+TEST_F(AuditorFixture, ConflictQuietForAFullGraceIsResolved) {
+  proto.addresses = {{1, kAddr}, {2, kAddr}};
+  auditor.check_now();
+  sim.run(2.0);
+  topo.remove_node(2);
+  auditor.check_now();  // unobservable, but carried (clock intact)
+  EXPECT_EQ(auditor.conflicts_pending(), 1u);
+  sim.run(13.0);  // quiet for > grace: considered resolved, not flickering
+  auditor.check_now();
+  EXPECT_EQ(auditor.conflicts_pending(), 0u);
+  // A re-collision after resolution is a new conflict with a new window.
+  topo.add_node(2, {10.0, 0.0});
+  sim.run(14.0);
+  EXPECT_NO_THROW(auditor.check_now());
+  sim.run(20.0);
+  EXPECT_NO_THROW(auditor.check_now());  // 6 s into the new window
+  sim.run(25.0);
+  EXPECT_THROW(auditor.check_now(), InvariantViolation);
 }
 
 }  // namespace

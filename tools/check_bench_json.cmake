@@ -1,0 +1,85 @@
+# Validates a committed bench-baseline JSON file: it must parse, and it must
+# carry the keys downstream tooling reads.  Invoked by ctest (see
+# tools/CMakeLists.txt) as
+#
+#   cmake -DJSON_FILE=<path> -DKIND=adversary|micro -P check_bench_json.cmake
+#
+# The baselines are snapshots committed at the repo root so result drift is
+# reviewable in diffs:
+#   * BENCH_adversary.json — the ablation_adversary cell grid; regenerate with
+#     QIP_BENCH_JSON=BENCH_adversary.json QIP_ROUNDS=2 bench/ablation_adversary
+#   * BENCH_micro.json — a google-benchmark run; regenerate with
+#     bench/micro_quorum --benchmark_out=BENCH_micro.json
+#                        --benchmark_out_format=json
+if(NOT DEFINED JSON_FILE OR NOT DEFINED KIND)
+  message(FATAL_ERROR
+      "check_bench_json.cmake needs -DJSON_FILE=... and -DKIND=...")
+endif()
+if(NOT EXISTS "${JSON_FILE}")
+  message(FATAL_ERROR "baseline ${JSON_FILE} is missing — regenerate it "
+      "(see the header of this script)")
+endif()
+
+file(READ "${JSON_FILE}" doc)
+
+# string(JSON ... ERROR_VARIABLE) reports parse problems without aborting, so
+# every failure below names the file and the missing piece.
+macro(require_key out_var member)
+  string(JSON ${out_var} ERROR_VARIABLE err GET "${doc}" ${member})
+  if(err)
+    message(FATAL_ERROR "${JSON_FILE}: missing or unreadable key "
+        "'${member}': ${err}")
+  endif()
+endmacro()
+
+if(KIND STREQUAL "adversary")
+  require_key(bench "bench")
+  if(NOT bench STREQUAL "ablation_adversary")
+    message(FATAL_ERROR "${JSON_FILE}: bench = '${bench}', expected "
+        "'ablation_adversary'")
+  endif()
+  require_key(population "population")
+  require_key(rounds "rounds")
+  string(JSON n_cells ERROR_VARIABLE err LENGTH "${doc}" "cells")
+  if(err OR n_cells EQUAL 0)
+    message(FATAL_ERROR "${JSON_FILE}: 'cells' is missing or empty: ${err}")
+  endif()
+  # Every cell must carry the full measurement schema.
+  math(EXPR last "${n_cells} - 1")
+  foreach(i RANGE ${last})
+    foreach(key attack attacker_fraction hardened violations configured_pct
+                latency_hops protocol_hops quarantines attack_actions)
+      string(JSON v ERROR_VARIABLE err GET "${doc}" "cells" ${i} "${key}")
+      if(err)
+        message(FATAL_ERROR "${JSON_FILE}: cells[${i}] lacks '${key}': ${err}")
+      endif()
+    endforeach()
+  endforeach()
+  message(STATUS "${JSON_FILE}: ${n_cells} cells, population ${population}, "
+      "${rounds} rounds — OK")
+elseif(KIND STREQUAL "micro")
+  # google-benchmark's schema: a context block plus a benchmarks array whose
+  # entries each carry a name and timings.
+  string(JSON ctx ERROR_VARIABLE err GET "${doc}" "context")
+  if(err)
+    message(FATAL_ERROR "${JSON_FILE}: missing 'context': ${err}")
+  endif()
+  string(JSON n_benchmarks ERROR_VARIABLE err LENGTH "${doc}" "benchmarks")
+  if(err OR n_benchmarks EQUAL 0)
+    message(FATAL_ERROR
+        "${JSON_FILE}: 'benchmarks' is missing or empty: ${err}")
+  endif()
+  math(EXPR last "${n_benchmarks} - 1")
+  foreach(i RANGE ${last})
+    foreach(key name real_time cpu_time time_unit)
+      string(JSON v ERROR_VARIABLE err GET "${doc}" "benchmarks" ${i} "${key}")
+      if(err)
+        message(FATAL_ERROR
+            "${JSON_FILE}: benchmarks[${i}] lacks '${key}': ${err}")
+      endif()
+    endforeach()
+  endforeach()
+  message(STATUS "${JSON_FILE}: ${n_benchmarks} benchmarks — OK")
+else()
+  message(FATAL_ERROR "unknown KIND '${KIND}' (expected adversary or micro)")
+endif()
