@@ -70,7 +70,7 @@ void BuddyProtocol::node_entered(NodeId id) {
         auto& a = node(allocator);
         if (!a.configured || a.block.size() < 2) {
           // Raced empty; requestor retries.
-          sim().after(params_.retry_wait, [this, id] {
+          sim().post(params_.retry_wait, [this, id] {
             if (alive(id) && !node(id).configured) node_entered(id);
           });
           return;

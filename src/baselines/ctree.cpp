@@ -101,7 +101,7 @@ void CTreeProtocol::node_entered(NodeId id) {
           if (!alive(coord) || !alive(id)) return;
           auto& cs = node(coord);
           if (!cs.coordinator || cs.coord.pool.empty()) {
-            sim().after(params_.retry_wait, [this, id] {
+            sim().post(params_.retry_wait, [this, id] {
               if (alive(id) && !node(id).configured) node_entered(id);
             });
             return;
@@ -137,7 +137,7 @@ void CTreeProtocol::node_entered(NodeId id) {
           if (!alive(parent) || !alive(id)) return;
           auto& ps = node(parent);
           if (!ps.coordinator || ps.coord.pool.size() < 2) {
-            sim().after(params_.retry_wait, [this, id] {
+            sim().post(params_.retry_wait, [this, id] {
               if (alive(id) && !node(id).configured) node_entered(id);
             });
             return;

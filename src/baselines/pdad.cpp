@@ -79,7 +79,7 @@ void PdadProtocol::flag_duplicate(NodeId observer, IpAddress addr) {
   // The flag is cleared after a grace period so the re-picked survivors can
   // use the address again if it became unique.
   const IpAddress a = addr;
-  sim().after(5.0, [this, a] { flagged_.erase(a); });
+  sim().post(5.0, [this, a] { flagged_.erase(a); });
 }
 
 void PdadProtocol::routing_tick() {

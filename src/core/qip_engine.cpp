@@ -381,7 +381,7 @@ void QipEngine::enqueue_request(NodeId allocator, PendingRequest req) {
     // The chosen allocator demoted/dissolved meanwhile; let the requestor
     // pick again.
     if (alive(req.requestor)) {
-      sim().after(params_.busy_backoff,
+      sim().post(params_.busy_backoff,
                   [this, r = req.requestor] { start_configuration(r); });
     }
     return;
@@ -442,7 +442,7 @@ void QipEngine::begin_txn(NodeId allocator, const PendingRequest& req) {
       st.active_txn = 0;
       txns_.erase(id);
       st.pending.push_front(req);
-      sim().after(params_.busy_backoff,
+      sim().post(params_.busy_backoff,
                   [this, allocator] { pump_pending(allocator); });
       return;
     }
@@ -892,7 +892,7 @@ void QipEngine::round_failed(ConfigTxn& txn, bool conflict) {
   if (txn.busy_retries < params_.max_busy_retries) {
     ++txn.busy_retries;
     const std::uint64_t id = txn.id;
-    sim().after(params_.busy_backoff, [this, id] {
+    sim().post(params_.busy_backoff, [this, id] {
       auto it = txns_.find(id);
       if (it == txns_.end()) return;
       if (!is_head(it->second.allocator)) {
@@ -1189,7 +1189,7 @@ void QipEngine::finish_config_failure(ConfigTxn& txn) {
     auto& rs = node(requestor);
     if (rs.entry_retries < params_.max_entry_retries) {
       ++rs.entry_retries;
-      sim().after(params_.entry_retry_backoff,
+      sim().post(params_.entry_retry_backoff,
                   [this, requestor] { start_configuration(requestor); });
     }
   }

@@ -163,7 +163,7 @@ void QipEngine::heal_partition(NodeId detector) {
     st.cancel_timers();
     st = QipNodeState{};
     const NodeId reentry = id;
-    sim().after(0.1, [this, reentry] {
+    sim().post(0.1, [this, reentry] {
       if (!alive(reentry) || !topology().has_node(reentry)) return;
       // An in-flight configuration may have landed meanwhile.
       if (node(reentry).role != Role::kUnconfigured) return;
@@ -240,7 +240,7 @@ void QipEngine::absorb_network(NodeId detector, NetworkId winner_id,
     st.cancel_timers();
     st = QipNodeState{};
     stagger += 0.05;
-    sim().after(stagger, [this, id] {
+    sim().post(stagger, [this, id] {
       if (!alive(id) || !topology().has_node(id)) return;
       // An in-flight configuration may have landed meanwhile.
       if (node(id).role != Role::kUnconfigured) return;

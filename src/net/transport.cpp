@@ -38,7 +38,7 @@ bool Transport::can_transmit(NodeId id) const {
 
 void Transport::schedule_delivery(NodeId to, std::uint32_t hops, SimTime extra,
                                   Receiver on_deliver) {
-  sim_.after(static_cast<SimTime>(hops) * per_hop_delay_ + extra,
+  sim_.post(static_cast<SimTime>(hops) * per_hop_delay_ + extra,
              [this, to, hops, fn = std::move(on_deliver)]() {
                // The destination may have departed while the message was in
                // flight; a vanished radio hears nothing.

@@ -2,17 +2,29 @@
 //
 // Events at equal timestamps execute in insertion order (a strictly
 // increasing sequence number breaks ties), which keeps runs deterministic —
-// a property every experiment in the reproduction depends on.  Cancellation
-// is O(1): entries carry a tombstone flag and are dropped lazily when they
-// surface at the top of the heap.
+// a property every experiment in the reproduction depends on.
+//
+// The queue is a pluggable scheduler: entries live in a slab of reusable
+// slots (generation-counted, so handles stay O(1) and allocation-free) and
+// a backend orders the (time, seq, slot) keys.  Two backends exist:
+//
+//   * heap     — binary heap, the reference implementation;
+//   * calendar — Brown-'88-style calendar queue with auto-resizing buckets,
+//                O(1) amortized enqueue/dequeue at 10^6 pending events.
+//
+// Both produce bit-identical pop order ((time, seq) ascending), verified by
+// a differential fuzz test; QIP_SCHED=heap|calendar selects one process-wide
+// (calendar is the default).  Cancellation is O(1): the slot is tombstoned,
+// its callable destroyed *eagerly* — a cancelled retransmit timer must not
+// keep its captures alive while the tombstone is still buried — and the key
+// is dropped lazily when it surfaces at the backend's minimum.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "util/assert.hpp"
 
 namespace qip {
@@ -20,48 +32,73 @@ namespace qip {
 /// Simulation clock, in seconds.
 using SimTime = double;
 
+/// Scheduler backend flavor.  Resolved once per queue at construction.
+enum class SchedulerKind { kHeap, kCalendar };
+
+/// Reads QIP_SCHED (unset → calendar).  A malformed value is a hard error
+/// (stderr + exit 2), matching the harness's strict env parsing: silently
+/// running the wrong backend would invalidate a benchmark without a trace.
+SchedulerKind scheduler_kind_from_env();
+
+namespace detail {
+struct EventQueueCore;
+}  // namespace detail
+
 /// Opaque handle for cancelling a scheduled event.  Default-constructed
-/// handles are inert; cancelling twice (or after firing) is a no-op.
+/// handles are inert; cancelling twice (or after firing, after clear(), or
+/// after the queue itself is gone) is a no-op.  Handles are {slot,
+/// generation} pairs into the queue's slab — copying one never allocates.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// True if the event is still scheduled (not fired, not cancelled).
-  bool pending() const { return flag_ && !*flag_; }
+  bool pending() const;
 
-  /// Marks the event dead; the queue drops it lazily (but the live-event
-  /// count is maintained eagerly, so live_size() stays exact).
-  void cancel() {
-    if (flag_ && !*flag_) {
-      *flag_ = true;
-      if (live_) --*live_;
-    }
-  }
+  /// Marks the event dead and frees its callable immediately (captures are
+  /// released now, not when the tombstone surfaces).  The live-event count
+  /// is maintained eagerly, so live_size() stays exact.
+  void cancel();
 
  private:
   friend class EventQueue;
-  EventHandle(std::shared_ptr<bool> flag, std::shared_ptr<std::size_t> live)
-      : flag_(std::move(flag)), live_(std::move(live)) {}
-  std::shared_ptr<bool> flag_;
-  std::shared_ptr<std::size_t> live_;
+  EventHandle(std::weak_ptr<detail::EventQueueCore> core, std::uint32_t slot,
+              std::uint32_t gen)
+      : core_(std::move(core)), slot_(slot), gen_(gen) {}
+  std::weak_ptr<detail::EventQueueCore> core_;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class EventQueue {
  public:
-  /// Schedules `fn` at absolute time `at`.
-  EventHandle schedule(SimTime at, std::function<void()> fn);
+  /// A queue on the given backend; the default consults QIP_SCHED.
+  explicit EventQueue(SchedulerKind kind = scheduler_kind_from_env());
+  ~EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  SchedulerKind backend() const;
+
+  /// Schedules `fn` at absolute time `at` (must be finite).
+  EventHandle schedule(SimTime at, EventFn fn);
+
+  /// Fire-and-forget schedule: identical ordering (the same sequence counter
+  /// advances), but no handle is materialized — skipping the weak-reference
+  /// bookkeeping that dominates when the caller discards the handle anyway.
+  void post(SimTime at, EventFn fn);
 
   /// Exact: true iff no live (uncancelled) event remains.
-  bool empty() const;
+  bool empty() const { return live_size() == 0; }
 
-  /// Upper bound on live events (cancelled entries buried in the heap are
+  /// Upper bound on live events (cancelled entries buried in a backend are
   /// counted until they surface).
-  std::size_t size() const { return heap_.size(); }
+  std::size_t size() const;
 
   /// Exact number of live (scheduled, uncancelled, unfired) events.  The
   /// count is maintained on schedule/cancel/pop, so — unlike size() — it
-  /// never includes tombstoned entries still buried in the heap.
-  std::size_t live_size() const { return *live_; }
+  /// never includes tombstoned entries still buried in a backend.
+  std::size_t live_size() const;
 
   /// Time of the earliest live event; queue must be non-empty.
   SimTime next_time() const;
@@ -69,35 +106,18 @@ class EventQueue {
   /// Pops and returns the earliest live event.
   struct Fired {
     SimTime time;
-    std::function<void()> fn;
+    EventFn fn;
   };
   Fired pop();
 
+  /// Drops every pending event, freeing all callables immediately.
+  /// Outstanding handles become inert (a late cancel() is a no-op).
   void clear();
 
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
-  /// Drops cancelled entries from the top of the heap.  If every remaining
-  /// entry is cancelled this empties the heap, so empty() is exact.
-  void skim() const;
-
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::uint64_t next_seq_ = 0;
-  /// Shared with every handle so cancellation can decrement it even while
-  /// the tombstoned entry is still buried in the heap.
-  std::shared_ptr<std::size_t> live_ = std::make_shared<std::size_t>(0);
+  /// shared_ptr only so handles can hold a weak reference that survives the
+  /// queue; one allocation per queue, never per event.
+  std::shared_ptr<detail::EventQueueCore> core_;
 };
 
 }  // namespace qip

@@ -28,6 +28,8 @@ class Simulator {
   void set_context(SimContext* ctx) { ctx_ = ctx; }
 
   SimTime now() const { return now_; }
+  /// Scheduler backend this simulator's queue runs on (QIP_SCHED).
+  SchedulerKind scheduler() const { return queue_.backend(); }
   std::uint64_t events_executed() const { return executed_; }
   bool idle() const { return queue_.empty(); }
   /// Upper bound: includes cancelled entries still buried in the heap.
@@ -35,17 +37,28 @@ class Simulator {
   /// Exact count of live scheduled events (see EventQueue::live_size).
   std::size_t live_events() const { return queue_.live_size(); }
 
-  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
-  EventHandle after(SimTime delay, std::function<void()> fn) {
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).  Any
+  /// callable converts to EventFn; captures up to 64 bytes stay inline, so
+  /// steady-state scheduling performs no heap allocation.
+  EventHandle after(SimTime delay, EventFn fn) {
     QIP_ASSERT_MSG(delay >= 0.0, "negative delay " << delay);
     return queue_.schedule(now_ + delay, std::move(fn));
   }
 
   /// Schedules `fn` at absolute time `at` (at >= now()).
-  EventHandle at(SimTime at, std::function<void()> fn) {
+  EventHandle at(SimTime at, EventFn fn) {
     QIP_ASSERT_MSG(at >= now_, "scheduling into the past: " << at << " < "
                                                             << now_);
     return queue_.schedule(at, std::move(fn));
+  }
+
+  /// Fire-and-forget after(): same ordering (the queue's sequence counter
+  /// advances identically), but no cancellation handle is created.  Use for
+  /// timers that are never cancelled — it skips the handle's weak-reference
+  /// bookkeeping on the scheduler hot path.
+  void post(SimTime delay, EventFn fn) {
+    QIP_ASSERT_MSG(delay >= 0.0, "negative delay " << delay);
+    queue_.post(now_ + delay, std::move(fn));
   }
 
   /// Executes the single earliest event; returns false when idle.

@@ -76,8 +76,13 @@ std::int64_t Histogram::max() const {
 std::int64_t Histogram::quantile(double q) const {
   QIP_ASSERT(!empty());
   q = std::clamp(q, 0.0, 1.0);
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(total_)));
+  // Nearest-rank definition: the smallest value whose cumulative weight
+  // reaches rank = ceil(q * total), with rank clamped to >= 1 so q = 0 is
+  // the minimum by construction (ceil(0) = 0 would otherwise only return
+  // the minimum by accident of the `seen >= rank` comparison) and q = 1 is
+  // the maximum.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_))));
   std::uint64_t seen = 0;
   for (const auto& [value, count] : counts_) {
     seen += count;

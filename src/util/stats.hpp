@@ -50,7 +50,9 @@ class Histogram {
   double mean() const;
   std::int64_t min() const;
   std::int64_t max() const;
-  /// Value at quantile q in [0,1] (nearest-rank; q=0.5 is the median).
+  /// Value at quantile q in [0,1] by the nearest-rank definition: the
+  /// smallest value whose cumulative weight reaches max(1, ceil(q*total)).
+  /// q=0 is exactly min(), q=1 exactly max(), q=0.5 the (upper) median.
   std::int64_t quantile(double q) const;
   const std::map<std::int64_t, std::uint64_t>& buckets() const {
     return counts_;

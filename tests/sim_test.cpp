@@ -1,6 +1,15 @@
-// Unit tests for the discrete-event core: ordering, cancellation, clock.
+// Unit tests for the discrete-event core: ordering, cancellation, clock,
+// handle lifetime edges, and heap-vs-calendar backend equivalence.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -11,8 +20,25 @@
 namespace qip {
 namespace {
 
-TEST(EventQueue, OrdersByTime) {
+std::string backend_name(
+    const ::testing::TestParamInfo<SchedulerKind>& info) {
+  return info.param == SchedulerKind::kHeap ? "heap" : "calendar";
+}
+
+/// Every EventQueue test runs on both scheduler backends: the backend is
+/// mechanism, and all observable behavior must be identical.
+class EventQueueTest : public ::testing::TestWithParam<SchedulerKind> {
+ protected:
+  EventQueueTest() : q(GetParam()) {}
   EventQueue q;
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventQueueTest,
+                         ::testing::Values(SchedulerKind::kHeap,
+                                           SchedulerKind::kCalendar),
+                         backend_name);
+
+TEST_P(EventQueueTest, OrdersByTime) {
   std::vector<int> order;
   q.schedule(3.0, [&] { order.push_back(3); });
   q.schedule(1.0, [&] { order.push_back(1); });
@@ -21,8 +47,7 @@ TEST(EventQueue, OrdersByTime) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueue, TiesAreFifo) {
-  EventQueue q;
+TEST_P(EventQueueTest, TiesAreFifo) {
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
     q.schedule(5.0, [&order, i] { order.push_back(i); });
@@ -31,8 +56,7 @@ TEST(EventQueue, TiesAreFifo) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
-TEST(EventQueue, CancelDropsEvent) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelDropsEvent) {
   int fired = 0;
   auto h = q.schedule(1.0, [&] { ++fired; });
   q.schedule(2.0, [&] { ++fired; });
@@ -43,8 +67,7 @@ TEST(EventQueue, CancelDropsEvent) {
   EXPECT_EQ(fired, 1);
 }
 
-TEST(EventQueue, EmptyIsExactUnderCancellation) {
-  EventQueue q;
+TEST_P(EventQueueTest, EmptyIsExactUnderCancellation) {
   auto a = q.schedule(1.0, [] {});
   auto b = q.schedule(2.0, [] {});
   a.cancel();
@@ -52,28 +75,28 @@ TEST(EventQueue, EmptyIsExactUnderCancellation) {
   EXPECT_TRUE(q.empty());
 }
 
-TEST(EventQueue, FiredHandleNotPending) {
-  EventQueue q;
+TEST_P(EventQueueTest, FiredHandleNotPending) {
   auto h = q.schedule(1.0, [] {});
   q.pop().fn();
   EXPECT_FALSE(h.pending());
+  EXPECT_EQ(q.live_size(), 0u);
   h.cancel();  // harmless
+  EXPECT_EQ(q.live_size(), 0u);
 }
 
-TEST(EventQueue, DefaultHandleInert) {
+TEST_P(EventQueueTest, DefaultHandleInert) {
   EventHandle h;
   EXPECT_FALSE(h.pending());
   h.cancel();  // no-op
 }
 
-TEST(EventQueue, LiveSizeExcludesTombstones) {
-  EventQueue q;
+TEST_P(EventQueueTest, LiveSizeExcludesTombstones) {
   auto a = q.schedule(1.0, [] {});
   auto b = q.schedule(2.0, [] {});
   q.schedule(3.0, [] {});
   EXPECT_EQ(q.live_size(), 3u);
   a.cancel();
-  // The tombstone still occupies a heap slot; live_size sees through it.
+  // The tombstone still occupies a backend slot; live_size sees through it.
   EXPECT_EQ(q.live_size(), 2u);
   EXPECT_EQ(q.size(), 3u);
   b.cancel();
@@ -82,8 +105,7 @@ TEST(EventQueue, LiveSizeExcludesTombstones) {
   EXPECT_EQ(q.live_size(), 0u);
 }
 
-TEST(EventQueue, LiveSizeTracksPopsExactly) {
-  EventQueue q;
+TEST_P(EventQueueTest, LiveSizeTracksPopsExactly) {
   for (int i = 0; i < 5; ++i) q.schedule(1.0 + i, [] {});
   for (std::size_t expect = 5; expect > 0; --expect) {
     EXPECT_EQ(q.live_size(), expect);
@@ -93,12 +115,200 @@ TEST(EventQueue, LiveSizeTracksPopsExactly) {
   EXPECT_EQ(q.live_size(), 0u);
 }
 
-TEST(EventQueue, NextTimeSkipsCancelled) {
-  EventQueue q;
+TEST_P(EventQueueTest, NextTimeSkipsCancelled) {
   auto a = q.schedule(1.0, [] {});
   q.schedule(5.0, [] {});
   a.cancel();
   EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Closure-retention regression (the PR's bugfix): a cancelled event must
+// release everything its closure captured *immediately*, not when the
+// tombstone eventually surfaces — retransmit-heavy runs cancel thousands of
+// buried timers that would otherwise pin dead state for the whole run.
+
+TEST_P(EventQueueTest, CancelReleasesClosureEagerly) {
+  auto sentinel = std::make_shared<int>(42);
+  std::weak_ptr<int> alive = sentinel;
+  q.schedule(0.5, [] {});  // stays in front; the cancelled ones never surface
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 64; ++i) {
+    handles.push_back(q.schedule(1.0 + i, [sentinel] {}));
+  }
+  sentinel.reset();
+  EXPECT_FALSE(alive.expired());
+  for (auto& h : handles) h.cancel();
+  // All 64 tombstones are still buried (nothing was popped), yet every
+  // captured copy of the sentinel is gone.
+  EXPECT_TRUE(alive.expired());
+  EXPECT_EQ(q.size(), 65u);
+  EXPECT_EQ(q.live_size(), 1u);
+}
+
+TEST_P(EventQueueTest, ClearReleasesClosures) {
+  auto sentinel = std::make_shared<int>(7);
+  std::weak_ptr<int> alive = sentinel;
+  for (int i = 0; i < 16; ++i) q.schedule(1.0 + i, [sentinel] {});
+  sentinel.reset();
+  EXPECT_FALSE(alive.expired());
+  q.clear();
+  EXPECT_TRUE(alive.expired());
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.live_size(), 0u);
+}
+
+TEST_P(EventQueueTest, QueueDestructionReleasesClosures) {
+  auto sentinel = std::make_shared<int>(9);
+  std::weak_ptr<int> alive = sentinel;
+  {
+    EventQueue local(GetParam());
+    local.schedule(1.0, [sentinel] {});
+    sentinel.reset();
+    EXPECT_FALSE(alive.expired());
+  }
+  EXPECT_TRUE(alive.expired());
+}
+
+// ---------------------------------------------------------------------------
+// Handle lifetime edges: stale handles must be inert in every order of
+// queue mutation, and live_size must stay exact throughout.
+
+TEST_P(EventQueueTest, CancelAfterClearIsInert) {
+  auto h = q.schedule(1.0, [] {});
+  q.clear();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not double-decrement the reset live count
+  EXPECT_EQ(q.live_size(), 0u);
+  // The cleared slot is recycled; the stale handle must not alias the new
+  // occupant.
+  auto fresh = q.schedule(2.0, [] {});
+  EXPECT_EQ(q.live_size(), 1u);
+  h.cancel();
+  EXPECT_EQ(q.live_size(), 1u);
+  EXPECT_TRUE(fresh.pending());
+}
+
+TEST_P(EventQueueTest, CancelAfterFireIsInert) {
+  auto h = q.schedule(1.0, [] {});
+  auto fired = q.pop();
+  fired.fn();
+  EXPECT_FALSE(h.pending());
+  // The fired slot is recycled; the stale handle must not cancel the new
+  // occupant.
+  auto fresh = q.schedule(2.0, [] {});
+  EXPECT_EQ(q.live_size(), 1u);
+  h.cancel();
+  EXPECT_EQ(q.live_size(), 1u);
+  EXPECT_TRUE(fresh.pending());
+}
+
+TEST_P(EventQueueTest, HandleOutlivesQueue) {
+  EventHandle h;
+  {
+    EventQueue local(GetParam());
+    h = local.schedule(1.0, [] {});
+    EXPECT_TRUE(h.pending());
+  }
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op, no dangling access
+}
+
+TEST_P(EventQueueTest, DoubleCancelDecrementsOnce) {
+  q.schedule(5.0, [] {});
+  auto h = q.schedule(1.0, [] {});
+  h.cancel();
+  EXPECT_EQ(q.live_size(), 1u);
+  h.cancel();
+  EXPECT_EQ(q.live_size(), 1u);
+}
+
+TEST_P(EventQueueTest, SchedulingNonFiniteTimeThrows) {
+  EXPECT_THROW(
+      q.schedule(std::numeric_limits<double>::infinity(), [] {}),
+      InvariantViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Backend equivalence: both schedulers must pop the exact (time, seq) order
+// under a randomized schedule/cancel/pop workload that crosses the calendar
+// queue's grow and shrink thresholds (bursts of equal timestamps included).
+
+class SchedulerDifferential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SchedulerDifferential, HeapAndCalendarAgree) {
+  Rng rng(GetParam());
+  EventQueue heap(SchedulerKind::kHeap);
+  EventQueue calendar(SchedulerKind::kCalendar);
+  std::vector<std::pair<SimTime, int>> heap_order, calendar_order;
+  std::vector<std::pair<EventHandle, EventHandle>> handles;
+  int next_id = 0;
+  double clock = 0.0;
+
+  const auto schedule_both = [&](SimTime t) {
+    const int id = next_id++;
+    handles.emplace_back(
+        heap.schedule(t, [&heap_order, t, id] {
+          heap_order.emplace_back(t, id);
+        }),
+        calendar.schedule(t, [&calendar_order, t, id] {
+          calendar_order.emplace_back(t, id);
+        }));
+  };
+
+  for (int step = 0; step < 12000; ++step) {
+    const double r = rng.uniform(0.0, 1.0);
+    if (r < 0.55 || heap.empty()) {
+      // Mixed time scales, quantized so exact ties are common.
+      const double span = r < 0.1 ? 10000.0 : 10.0;
+      const SimTime t =
+          clock + std::floor(rng.uniform(0.0, span) * 8.0) / 8.0;
+      schedule_both(t);
+    } else if (r < 0.7 && !handles.empty()) {
+      auto& [hh, ch] = handles[static_cast<std::size_t>(
+          rng.uniform(0.0, static_cast<double>(handles.size()) - 0.001))];
+      ASSERT_EQ(hh.pending(), ch.pending());
+      hh.cancel();
+      ch.cancel();
+    } else {
+      ASSERT_EQ(heap.live_size(), calendar.live_size());
+      ASSERT_DOUBLE_EQ(heap.next_time(), calendar.next_time());
+      auto hf = heap.pop();
+      auto cf = calendar.pop();
+      ASSERT_DOUBLE_EQ(hf.time, cf.time);
+      hf.fn();
+      cf.fn();
+      clock = hf.time;  // keep new events quasi-monotone, as a simulator does
+      ASSERT_EQ(heap_order.back(), calendar_order.back());
+    }
+  }
+  while (!heap.empty()) {
+    ASSERT_FALSE(calendar.empty());
+    heap.pop().fn();
+    calendar.pop().fn();
+  }
+  EXPECT_TRUE(calendar.empty());
+  EXPECT_EQ(heap_order, calendar_order);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerDifferential,
+                         ::testing::Values(101, 202, 303, 404));
+
+TEST(SchedulerEnv, QipSchedSelectsBackend) {
+  const char* saved = std::getenv("QIP_SCHED");
+  const std::string restore = saved ? saved : "";
+  ::unsetenv("QIP_SCHED");
+  EXPECT_EQ(scheduler_kind_from_env(), SchedulerKind::kCalendar);
+  ::setenv("QIP_SCHED", "heap", 1);
+  EXPECT_EQ(scheduler_kind_from_env(), SchedulerKind::kHeap);
+  ::setenv("QIP_SCHED", "calendar", 1);
+  EXPECT_EQ(scheduler_kind_from_env(), SchedulerKind::kCalendar);
+  if (saved) {
+    ::setenv("QIP_SCHED", restore.c_str(), 1);
+  } else {
+    ::unsetenv("QIP_SCHED");
+  }
 }
 
 TEST(Simulator, ClockAdvancesMonotonically) {

@@ -184,6 +184,36 @@ TEST(Histogram, WeightedAdd) {
   EXPECT_EQ(h.quantile(0.9), 7);
 }
 
+// Nearest-rank pins (feeds the _p50/_p99 metric lines): rank is clamped to
+// >= 1, so q=0 is the minimum by construction, not by accident of the
+// cumulative comparison, and q=1 is exactly the maximum.
+TEST(Histogram, QuantileEndpointsAreMinAndMax) {
+  Histogram h;
+  h.add(5);
+  EXPECT_EQ(h.quantile(0.0), 5);
+  EXPECT_EQ(h.quantile(1.0), 5);
+  h.add(-3, 2);
+  h.add(11, 4);
+  EXPECT_EQ(h.quantile(0.0), h.min());
+  EXPECT_EQ(h.quantile(1.0), h.max());
+  // Out-of-range q clamps rather than misbehaving.
+  EXPECT_EQ(h.quantile(-0.5), h.min());
+  EXPECT_EQ(h.quantile(1.5), h.max());
+}
+
+TEST(Histogram, QuantileWeightedBucketBoundaries) {
+  Histogram h;
+  h.add(1, 3);  // cumulative 3 of 4
+  h.add(2, 1);  // cumulative 4 of 4
+  // rank = ceil(q*4): q up to 0.75 lands in the first bucket, anything
+  // beyond crosses into the second.
+  EXPECT_EQ(h.quantile(0.75), 1);
+  EXPECT_EQ(h.quantile(0.7501), 2);
+  EXPECT_EQ(h.quantile(1.0), 2);
+  // A tiny-but-positive q has rank ceil(eps) = 1: still the minimum.
+  EXPECT_EQ(h.quantile(1e-12), 1);
+}
+
 TEST(Summary, Format) {
   RunningStats s;
   s.add(1.0);

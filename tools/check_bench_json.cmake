@@ -2,7 +2,13 @@
 # carry the keys downstream tooling reads.  Invoked by ctest (see
 # tools/CMakeLists.txt) as
 #
-#   cmake -DJSON_FILE=<path> -DKIND=adversary|micro -P check_bench_json.cmake
+#   cmake -DJSON_FILE=<path> -DKIND=adversary|micro|event_queue \
+#         -P check_bench_json.cmake
+#
+# KIND=event_queue layers the scheduler acceptance gate on top of the micro
+# schema: the calendar backend must beat the heap backend by >= 3x on the
+# 10^6-pending-event churn case, with zero steady-state allocations on both
+# (the bench counts operator new calls inside the timed region).
 #
 # The baselines are snapshots committed at the repo root so result drift is
 # reviewable in diffs:
@@ -11,6 +17,12 @@
 #   * BENCH_micro.json — a google-benchmark run; regenerate with
 #     bench/micro_quorum --benchmark_out=BENCH_micro.json
 #                        --benchmark_out_format=json
+#   * BENCH_event_queue.json — regenerate with
+#     bench/micro_event_queue --benchmark_out=BENCH_event_queue.json
+#                             --benchmark_out_format=json
+#   * BENCH_parallel.json — regenerate with
+#     QIP_ROUNDS=8 bench/micro_parallel --benchmark_out=BENCH_parallel.json
+#                                       --benchmark_out_format=json
 if(NOT DEFINED JSON_FILE OR NOT DEFINED KIND)
   message(FATAL_ERROR
       "check_bench_json.cmake needs -DJSON_FILE=... and -DKIND=...")
@@ -57,7 +69,7 @@ if(KIND STREQUAL "adversary")
   endforeach()
   message(STATUS "${JSON_FILE}: ${n_cells} cells, population ${population}, "
       "${rounds} rounds — OK")
-elseif(KIND STREQUAL "micro")
+elseif(KIND STREQUAL "micro" OR KIND STREQUAL "event_queue")
   # google-benchmark's schema: a context block plus a benchmarks array whose
   # entries each carry a name and timings.
   string(JSON ctx ERROR_VARIABLE err GET "${doc}" "context")
@@ -79,7 +91,61 @@ elseif(KIND STREQUAL "micro")
       endif()
     endforeach()
   endforeach()
+
+  if(KIND STREQUAL "event_queue")
+    # Scheduler acceptance gate.  Find the two 10^6-pending churn cases and
+    # every churn case's allocation counter.
+    set(heap_time "")
+    set(calendar_time "")
+    foreach(i RANGE ${last})
+      string(JSON name GET "${doc}" "benchmarks" ${i} "name")
+      if(name MATCHES "^BM_Churn_")
+        string(JSON allocs ERROR_VARIABLE err GET "${doc}" "benchmarks" ${i}
+            "allocs_per_op")
+        if(err)
+          message(FATAL_ERROR
+              "${JSON_FILE}: ${name} lacks the 'allocs_per_op' counter: "
+              "${err}")
+        endif()
+        if(allocs GREATER 0)
+          message(FATAL_ERROR "${JSON_FILE}: ${name} allocated "
+              "(allocs_per_op = ${allocs}) — steady-state schedule/pop must "
+              "be allocation-free")
+        endif()
+        # Prefix match: a fixed-iteration registration suffixes the name
+        # with "/iterations:N".
+        if(name MATCHES "^BM_Churn_heap/1000000")
+          string(JSON heap_time GET "${doc}" "benchmarks" ${i} "real_time")
+        elseif(name MATCHES "^BM_Churn_calendar/1000000")
+          string(JSON calendar_time GET "${doc}" "benchmarks" ${i}
+              "real_time")
+        endif()
+      endif()
+    endforeach()
+    if(heap_time STREQUAL "" OR calendar_time STREQUAL "")
+      message(FATAL_ERROR "${JSON_FILE}: missing BM_Churn_heap/1000000 or "
+          "BM_Churn_calendar/1000000")
+    endif()
+    # math(EXPR) is integer-only, so the 3x gate runs on the integer part of
+    # each per-iteration time.  The churn benches batch thousands of ops per
+    # iteration, so times are >= 10^5 ns and truncation is noise.
+    string(REGEX REPLACE "\\..*$" "" heap_int "${heap_time}")
+    string(REGEX REPLACE "\\..*$" "" cal_int "${calendar_time}")
+    if(NOT heap_int MATCHES "^[0-9]+$" OR NOT cal_int MATCHES "^[0-9]+$"
+       OR cal_int EQUAL 0)
+      message(FATAL_ERROR "${JSON_FILE}: churn times unparsable "
+          "(heap=${heap_time}, calendar=${calendar_time})")
+    endif()
+    math(EXPR scaled "3 * ${cal_int}")
+    if(heap_int LESS ${scaled})
+      message(FATAL_ERROR "${JSON_FILE}: heap/calendar churn ratio "
+          "${heap_time}/${calendar_time} is below the 3x acceptance gate")
+    endif()
+    message(STATUS "${JSON_FILE}: churn 10^6 heap=${heap_time} "
+        "calendar=${calendar_time} (>=3x, zero allocs) — OK")
+  endif()
   message(STATUS "${JSON_FILE}: ${n_benchmarks} benchmarks — OK")
 else()
-  message(FATAL_ERROR "unknown KIND '${KIND}' (expected adversary or micro)")
+  message(FATAL_ERROR
+      "unknown KIND '${KIND}' (expected adversary, micro or event_queue)")
 endif()

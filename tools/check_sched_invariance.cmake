@@ -1,0 +1,47 @@
+# Byte-compares a figure bench's stdout with QIP_SCHED=heap vs =calendar.
+# Invoked by ctest (see tools/CMakeLists.txt) as
+#
+#   cmake -DBENCH=<exe> -P check_sched_invariance.cmake
+#
+# The scheduler contract (docs/SIMULATOR.md): both event-queue backends pop
+# events in exactly (time, sequence) order, so the backend is pure mechanism
+# — swapping it must never show up in any figure.  A divergence here means a
+# backend broke the FIFO tie-break or dropped/reordered an event.
+# QIP_ROUNDS=1 keeps the double run cheap; any divergence at one round would
+# only compound at more.
+if(NOT DEFINED BENCH)
+  message(FATAL_ERROR "check_sched_invariance.cmake needs -DBENCH=...")
+endif()
+
+set(ENV{QIP_ROUNDS} 1)
+
+set(ENV{QIP_SCHED} heap)
+execute_process(
+  COMMAND "${BENCH}"
+  OUTPUT_VARIABLE heap_out
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} (QIP_SCHED=heap) exited with status ${rc}")
+endif()
+
+set(ENV{QIP_SCHED} calendar)
+execute_process(
+  COMMAND "${BENCH}"
+  OUTPUT_VARIABLE calendar_out
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+      "${BENCH} (QIP_SCHED=calendar) exited with status ${rc}")
+endif()
+
+if(NOT calendar_out STREQUAL heap_out)
+  set(dump_a "${CMAKE_CURRENT_BINARY_DIR}/sched_invariance_heap.txt")
+  set(dump_b "${CMAKE_CURRENT_BINARY_DIR}/sched_invariance_calendar.txt")
+  file(WRITE "${dump_a}" "${heap_out}")
+  file(WRITE "${dump_b}" "${calendar_out}")
+  message(FATAL_ERROR
+      "${BENCH} output changes with the scheduler backend — an event was "
+      "reordered.\nheap:     ${dump_a}\ncalendar: ${dump_b}")
+endif()
