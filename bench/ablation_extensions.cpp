@@ -109,7 +109,8 @@ int main(int argc, char** argv) {
           process_context(), jobs, rounds,
           [&](std::size_t r, SimContext& ctx) {
             QipParams qp;
-            qp.dynamic_linear = dl;
+            qp.quorum = dl ? QuorumBackend::kDynamicLinear
+                           : QuorumBackend::kMajority;
             return run(qp, 100, 2000 + r, ctx, /*abrupt_head_ratio=*/0.4);
           },
           [&](std::size_t, Outcome&& o) {

@@ -4,7 +4,10 @@
 #include <numeric>
 
 #include "quorum/dynamic_linear.hpp"
+#include "quorum/intersection_checker.hpp"
+#include "quorum/quorum_policy.hpp"
 #include "quorum/quorum_system.hpp"
+#include "quorum/slices.hpp"
 
 using namespace qip;
 
@@ -47,5 +50,54 @@ static void BM_QuorumThreshold(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QuorumThreshold);
+
+static void BM_PolicyThreshold(benchmark::State& state) {
+  // The engine's hot-path dispatch: virtual threshold() per vote tally.
+  const QuorumPolicy& policy =
+      quorum_policy(static_cast<QuorumBackend>(state.range(0)));
+  std::uint32_t g = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.threshold(1 + (g++ % 16), (g & 1) != 0));
+  }
+}
+BENCHMARK(BM_PolicyThreshold)->Arg(0)->Arg(1)->Arg(2);
+
+static void BM_SlicesIsQuorum(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const SliceConfig cfg = SliceConfig::flat_majority(universe(n));
+  const auto probe = universe(n / 2 + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cfg.is_quorum(probe));
+  }
+}
+BENCHMARK(BM_SlicesIsQuorum)->Arg(6)->Arg(12);
+
+static void BM_FromSlices(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto u = universe(n);
+  const SliceConfig cfg = SliceConfig::flat_majority(u);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QuorumSystem::from_slices(cfg, u));
+  }
+}
+BENCHMARK(BM_FromSlices)->Arg(6)->Arg(10);
+
+static void BM_CheckerExhaustive(benchmark::State& state) {
+  const QuorumPolicy& policy =
+      quorum_policy(static_cast<QuorumBackend>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_intersection_exhaustive(policy, 6));
+  }
+}
+BENCHMARK(BM_CheckerExhaustive)->Arg(0)->Arg(1)->Arg(2);
+
+static void BM_CheckerRandom(benchmark::State& state) {
+  const QuorumPolicy& policy = quorum_policy(QuorumBackend::kDynamicLinear);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        check_intersection_random(policy, 14, 0x5eed, 16));
+  }
+}
+BENCHMARK(BM_CheckerRandom);
 
 BENCHMARK_MAIN();

@@ -687,9 +687,9 @@ void QipEngine::start_quorum_round(ConfigTxn& txn) {
 }
 
 std::uint32_t QipEngine::quorum_needed(const ConfigTxn& txn) const {
-  // Confirmations required *including our own copy's vote*.
-  if (!params_.dynamic_linear) return txn.group_size / 2 + 1;
-  return quorum_threshold(txn.group_size, txn.distinguished_ok);
+  // Confirmations required *including our own copy's vote*.  The group is a
+  // symmetric QDSet, so the backend's counting form decides (docs/QUORUM.md).
+  return policy().threshold(txn.group_size, txn.distinguished_ok);
 }
 
 void QipEngine::handle_quorum_clt(NodeId voter, NodeId allocator,

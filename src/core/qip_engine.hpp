@@ -79,6 +79,9 @@ class QipEngine : public AutoconfProtocol {
 
   // -- Introspection (tests, figures) --------------------------------------
   const QipParams& params() const { return params_; }
+  /// The quorum backend every quorum-critical decision dispatches through
+  /// (vote tallying, maintenance quorate checks, hardened cross-checks).
+  const QuorumPolicy& policy() const { return quorum_policy(params_.quorum); }
   const ClusterView& clusters() const { return clusters_; }
   bool knows(NodeId id) const { return nodes_.count(id) != 0; }
   const QipNodeState& state_of(NodeId id) const;

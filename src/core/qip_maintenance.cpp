@@ -262,9 +262,7 @@ void QipEngine::shrink_quorum(NodeId head, NodeId missing) {
     if (m == distinguished) distinguished_reachable = true;
   }
   const bool quorate =
-      2 * reachable > group ||
-      (params_.dynamic_linear && 2 * reachable == group &&
-       distinguished_reachable);
+      policy().satisfied(group, reachable, distinguished_reachable);
   if (!quorate) {
     QIP_DEBUG << "head " << head << " cannot shrink quorum around " << missing
               << ": only " << reachable << "/" << group << " reachable";
@@ -487,13 +485,12 @@ void QipEngine::finish_reclamation(NodeId dead_head) {
     }
   }
   // Reclamation is a write on the dead head's space and needs a quorum of
-  // its replica group: a strict majority, or — under dynamic linear voting
-  // — exactly half including the distinguished (lowest-id) copy.  The same
-  // rule gates allocations, so two partitioned halves can never both act.
+  // its replica group under the configured backend — e.g. a strict
+  // majority, or under dynamic linear voting exactly half including the
+  // distinguished (lowest-id) copy.  The same rule gates allocations, so
+  // two partitioned halves can never both act.
   const bool quorate =
-      2 * reachable_copies > group ||
-      (params_.dynamic_linear && 2 * reachable_copies == group &&
-       distinguished_reachable);
+      policy().satisfied(group, reachable_copies, distinguished_reachable);
   if (!quorate) {
     QIP_DEBUG << "reclamation of " << dead_head
               << " abandoned: no quorum (" << reachable_copies << "/"

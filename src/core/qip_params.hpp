@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "addr/ip_address.hpp"
+#include "quorum/quorum_policy.hpp"
 #include "sim/event_queue.hpp"
 
 namespace qip {
@@ -97,9 +98,15 @@ struct QipParams {
   /// available block rather than the nearest one.
   bool pick_largest_block = false;
 
-  /// §II-D: dynamic linear voting with the address owner as distinguished
-  /// node (false falls back to strict majority).
-  bool dynamic_linear = true;
+  /// Quorum backend for every quorum-critical decision (vote tallying,
+  /// maintenance quorate checks, hardened veto cross-checks).  kDynamicLinear
+  /// is §II-D's rule — dynamic linear voting with the address owner as
+  /// distinguished node; kMajority is the strict-majority fallback the
+  /// figures compare against; kSlices derives federated flat-majority
+  /// slices from QDSet membership (docs/QUORUM.md).  Defaults through
+  /// QIP_QUORUM so env/--quorum selection reaches every internally-built
+  /// QipParams; malformed values exit 2 at construction.
+  QuorumBackend quorum = quorum_backend_from_env();
 
   /// §V-A address borrowing from QuorumSpace (false = IPSpace only, with
   /// agent forwarding as the sole fallback — the ablation bench measures

@@ -1,14 +1,35 @@
 #include "quorum/quorum_system.hpp"
 
 #include <algorithm>
+#include <bit>
 
+#include "quorum/slices.hpp"
 #include "util/assert.hpp"
 
 namespace qip {
 
 namespace {
 
-constexpr std::size_t kMaxUniverse = 20;  // 2^20 subsets worst case
+/// Sorts `universe` and rejects empty/duplicated/oversized ones with the
+/// rich-message idiom of FaultPlan::validate(): the failure names the limit
+/// and the number that broke it.
+std::vector<std::uint32_t> checked_universe(std::vector<std::uint32_t> universe,
+                                            std::size_t cap,
+                                            const char* builder) {
+  QIP_ASSERT_MSG(!universe.empty(),
+                 "QuorumSystem::" << builder << " over an empty universe");
+  QIP_ASSERT_MSG(universe.size() <= cap,
+                 "QuorumSystem::" << builder << " universe of "
+                                  << universe.size()
+                                  << " exceeds the enumeration cap of " << cap
+                                  << " — explicit systems are for per-head "
+                                     "QDSets, not whole populations");
+  std::sort(universe.begin(), universe.end());
+  QIP_ASSERT_MSG(
+      std::adjacent_find(universe.begin(), universe.end()) == universe.end(),
+      "QuorumSystem::" << builder << " universe has a duplicate element");
+  return universe;
+}
 
 /// Emits all size-k subsets of `universe` into `out`.
 void enumerate_subsets(const std::vector<std::uint32_t>& universe,
@@ -42,16 +63,95 @@ void enumerate_subsets(const std::vector<std::uint32_t>& universe,
 }  // namespace
 
 QuorumSystem QuorumSystem::majority(std::vector<std::uint32_t> universe) {
-  QIP_ASSERT(!universe.empty());
-  QIP_ASSERT_MSG(universe.size() <= kMaxUniverse, "universe too large");
-  std::sort(universe.begin(), universe.end());
-  QIP_ASSERT_MSG(
-      std::adjacent_find(universe.begin(), universe.end()) == universe.end(),
-      "duplicate universe element");
   QuorumSystem qs;
-  qs.universe_ = std::move(universe);
+  qs.universe_ = checked_universe(std::move(universe), kMaxUniverse,
+                                  "majority");
   const std::size_t k = qs.universe_.size() / 2 + 1;
   enumerate_subsets(qs.universe_, k, qs.quorums_);
+  return qs;
+}
+
+QuorumSystem QuorumSystem::fixed_size(std::vector<std::uint32_t> universe,
+                                      std::size_t k) {
+  QuorumSystem qs;
+  qs.universe_ = checked_universe(std::move(universe), kMaxUniverse,
+                                  "fixed_size");
+  QIP_ASSERT_MSG(k >= 1 && k <= qs.universe_.size(),
+                 "QuorumSystem::fixed_size k = " << k
+                                                 << " outside [1, "
+                                                 << qs.universe_.size()
+                                                 << "]");
+  enumerate_subsets(qs.universe_, k, qs.quorums_);
+  return qs;
+}
+
+QuorumSystem QuorumSystem::from_slices(const SliceConfig& config,
+                                       std::vector<std::uint32_t> universe) {
+  QuorumSystem qs;
+  qs.universe_ = checked_universe(std::move(universe), kMaxSliceUniverse,
+                                  "from_slices");
+  const std::size_t n = qs.universe_.size();
+
+  // Compile each member's declaration to a validator bitmask over the
+  // universe; validators outside the universe can never join a subset, so
+  // dropping them changes nothing.
+  std::vector<std::uint32_t> masks(n, 0);
+  std::vector<std::uint32_t> thresholds(n, 0);
+  std::vector<bool> declared(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const QuorumSlice* slice = config.find(qs.universe_[i]);
+    if (slice == nullptr) continue;  // member of no quorum at all
+    declared[i] = true;
+    thresholds[i] = slice->threshold;
+    for (std::uint32_t v : slice->validators) {
+      const auto it =
+          std::lower_bound(qs.universe_.begin(), qs.universe_.end(), v);
+      if (it != qs.universe_.end() && *it == v) {
+        masks[i] |= 1u << (it - qs.universe_.begin());
+      }
+    }
+  }
+
+  const auto is_quorum_mask = [&](std::uint32_t s) {
+    if (s == 0) return false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(s & (1u << i))) continue;
+      if (!declared[i]) return false;
+      if (std::popcount(masks[i] & s) <
+          static_cast<int>(thresholds[i]))
+        return false;
+    }
+    return true;
+  };
+
+  // Walk subsets in increasing cardinality and keep the minimal quorums:
+  // a candidate is minimal iff no already-kept (hence smaller) quorum sits
+  // strictly inside it — every quorum contains a minimal one, so the test
+  // against kept masks is exact.
+  std::vector<std::uint32_t> by_popcount(std::size_t{1} << n);
+  for (std::uint32_t s = 0; s < by_popcount.size(); ++s) by_popcount[s] = s;
+  std::stable_sort(by_popcount.begin(), by_popcount.end(),
+                   [](std::uint32_t a, std::uint32_t b) {
+                     return std::popcount(a) < std::popcount(b);
+                   });
+  std::vector<std::uint32_t> minimal_masks;
+  for (std::uint32_t s : by_popcount) {
+    if (!is_quorum_mask(s)) continue;
+    bool dominated = false;
+    for (std::uint32_t m : minimal_masks) {
+      if ((m & s) == m) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    minimal_masks.push_back(s);
+    QuorumSet q;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (s & (1u << i)) q.push_back(qs.universe_[i]);
+    }
+    qs.quorums_.push_back(std::move(q));
+  }
   return qs;
 }
 

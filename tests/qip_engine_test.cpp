@@ -247,7 +247,7 @@ TEST_F(QipFixture, LargestBlockAllocatorChoice) {
 }
 
 TEST_F(QipFixture, StrictMajorityVariantStillConfigures) {
-  qp.dynamic_linear = false;
+  qp.quorum = QuorumBackend::kMajority;
   init(256);
   driver->join_at({500, 500});
   world.run_for(5.0);

@@ -2,7 +2,7 @@
 # carry the keys downstream tooling reads.  Invoked by ctest (see
 # tools/CMakeLists.txt) as
 #
-#   cmake -DJSON_FILE=<path> -DKIND=adversary|micro|event_queue \
+#   cmake -DJSON_FILE=<path> -DKIND=adversary|micro|event_queue|quorum \
 #         -P check_bench_json.cmake
 #
 # KIND=event_queue layers the scheduler acceptance gate on top of the micro
@@ -23,6 +23,12 @@
 #   * BENCH_parallel.json — regenerate with
 #     QIP_ROUNDS=8 bench/micro_parallel --benchmark_out=BENCH_parallel.json
 #                                       --benchmark_out_format=json
+#   * BENCH_topology.json — regenerate with
+#     bench/micro_topology --benchmark_out=BENCH_topology.json
+#                          --benchmark_out_format=json
+#   * BENCH_quorum.json — the ablation_quorum_backend checker verdicts and
+#     availability grid; regenerate with
+#     QIP_BENCH_JSON=BENCH_quorum.json QIP_ROUNDS=2 bench/ablation_quorum_backend
 if(NOT DEFINED JSON_FILE OR NOT DEFINED KIND)
   message(FATAL_ERROR
       "check_bench_json.cmake needs -DJSON_FILE=... and -DKIND=...")
@@ -69,6 +75,63 @@ if(KIND STREQUAL "adversary")
   endforeach()
   message(STATUS "${JSON_FILE}: ${n_cells} cells, population ${population}, "
       "${rounds} rounds — OK")
+elseif(KIND STREQUAL "quorum")
+  require_key(bench "bench")
+  if(NOT bench STREQUAL "ablation_quorum_backend")
+    message(FATAL_ERROR "${JSON_FILE}: bench = '${bench}', expected "
+        "'ablation_quorum_backend'")
+  endif()
+  require_key(population "population")
+  require_key(rounds "rounds")
+  # The checker verdicts: every entry carries the full report, and every 'ok'
+  # must be true except the deliberately broken disjoint-clique config.
+  string(JSON n_checker ERROR_VARIABLE err LENGTH "${doc}" "checker")
+  if(err OR n_checker EQUAL 0)
+    message(FATAL_ERROR "${JSON_FILE}: 'checker' is missing or empty: ${err}")
+  endif()
+  set(saw_refutation FALSE)
+  math(EXPR last "${n_checker} - 1")
+  foreach(i RANGE ${last})
+    foreach(key backend mode universe views shrinks pairs ok)
+      string(JSON v ERROR_VARIABLE err GET "${doc}" "checker" ${i} "${key}")
+      if(err)
+        message(FATAL_ERROR "${JSON_FILE}: checker[${i}] lacks '${key}': "
+            "${err}")
+      endif()
+    endforeach()
+    string(JSON backend GET "${doc}" "checker" ${i} "backend")
+    string(JSON ok GET "${doc}" "checker" ${i} "ok")
+    if(backend STREQUAL "slices(cliques)")
+      if(ok)
+        message(FATAL_ERROR "${JSON_FILE}: checker[${i}] (${backend}) was "
+            "not refuted — the checker lost its teeth")
+      endif()
+      set(saw_refutation TRUE)
+    elseif(NOT ok)
+      message(FATAL_ERROR "${JSON_FILE}: checker[${i}] (${backend}) reports "
+          "an intersection violation")
+    endif()
+  endforeach()
+  if(NOT saw_refutation)
+    message(FATAL_ERROR "${JSON_FILE}: no 'slices(cliques)' refutation row — "
+        "the negative control is missing")
+  endif()
+  # The availability grid.
+  string(JSON n_cells ERROR_VARIABLE err LENGTH "${doc}" "cells")
+  if(err OR n_cells EQUAL 0)
+    message(FATAL_ERROR "${JSON_FILE}: 'cells' is missing or empty: ${err}")
+  endif()
+  math(EXPR last "${n_cells} - 1")
+  foreach(i RANGE ${last})
+    foreach(key plan backend rounds configured_pct latency_hops protocol_hops)
+      string(JSON v ERROR_VARIABLE err GET "${doc}" "cells" ${i} "${key}")
+      if(err)
+        message(FATAL_ERROR "${JSON_FILE}: cells[${i}] lacks '${key}': ${err}")
+      endif()
+    endforeach()
+  endforeach()
+  message(STATUS "${JSON_FILE}: ${n_checker} checker rows (cliques refuted), "
+      "${n_cells} cells — OK")
 elseif(KIND STREQUAL "micro" OR KIND STREQUAL "event_queue")
   # google-benchmark's schema: a context block plus a benchmarks array whose
   # entries each carry a name and timings.
@@ -147,5 +210,6 @@ elseif(KIND STREQUAL "micro" OR KIND STREQUAL "event_queue")
   message(STATUS "${JSON_FILE}: ${n_benchmarks} benchmarks — OK")
 else()
   message(FATAL_ERROR
-      "unknown KIND '${KIND}' (expected adversary, micro or event_queue)")
+      "unknown KIND '${KIND}' (expected adversary, micro, event_queue or "
+      "quorum)")
 endif()

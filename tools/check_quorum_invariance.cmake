@@ -1,0 +1,65 @@
+# Byte-compares a figure bench's stdout under two quorum backends.
+# Invoked by ctest (see tools/CMakeLists.txt) as
+#
+#   cmake -DBENCH=<exe> -DQUORUM_A=<backend|default> -DQUORUM_B=<backend>
+#         -P check_quorum_invariance.cmake
+#
+# Two identities hold by construction (docs/QUORUM.md), and this gate pins
+# both — same pattern as the scheduler gate:
+#
+#   * default vs dynamic_linear: QIP_QUORUM=dynamic_linear names the default
+#     explicitly, so the policy machinery must be dormant — byte-identical.
+#     (majority vs default would be a REAL behavioral comparison: the even-
+#     group discount commits rounds one vote earlier, so those outputs
+#     legitimately differ.  That delta is what ablation_quorum_backend
+#     measures; it must never appear here.)
+#   * majority vs slices: the engine derives flat-majority slices from QDSet
+#     membership, which is count-equivalent to strict majority — the two
+#     backends must drive every bench through identical message flows.
+#
+# QUORUM_A=default unsets QIP_QUORUM instead of setting it.  QIP_ROUNDS=1
+# keeps the double run cheap; any divergence at one round would only
+# compound at more.
+if(NOT DEFINED BENCH OR NOT DEFINED QUORUM_A OR NOT DEFINED QUORUM_B)
+  message(FATAL_ERROR "check_quorum_invariance.cmake needs -DBENCH=... "
+      "-DQUORUM_A=... and -DQUORUM_B=...")
+endif()
+
+set(ENV{QIP_ROUNDS} 1)
+
+if(QUORUM_A STREQUAL "default")
+  unset(ENV{QIP_QUORUM})
+else()
+  set(ENV{QIP_QUORUM} "${QUORUM_A}")
+endif()
+execute_process(
+  COMMAND "${BENCH}"
+  OUTPUT_VARIABLE out_a
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+      "${BENCH} (QIP_QUORUM=${QUORUM_A}) exited with status ${rc}")
+endif()
+
+set(ENV{QIP_QUORUM} "${QUORUM_B}")
+execute_process(
+  COMMAND "${BENCH}"
+  OUTPUT_VARIABLE out_b
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+      "${BENCH} (QIP_QUORUM=${QUORUM_B}) exited with status ${rc}")
+endif()
+
+if(NOT out_a STREQUAL out_b)
+  set(dump_a "${CMAKE_CURRENT_BINARY_DIR}/quorum_invariance_${QUORUM_A}.txt")
+  set(dump_b "${CMAKE_CURRENT_BINARY_DIR}/quorum_invariance_${QUORUM_B}.txt")
+  file(WRITE "${dump_a}" "${out_a}")
+  file(WRITE "${dump_b}" "${out_b}")
+  message(FATAL_ERROR
+      "${BENCH} output changes between QIP_QUORUM=${QUORUM_A} and "
+      "${QUORUM_B} — a backend identity broke.\n"
+      "${QUORUM_A}: ${dump_a}\n${QUORUM_B}: ${dump_b}")
+endif()

@@ -14,6 +14,11 @@ if(NOT DEFINED BENCH OR NOT DEFINED TRACE_FILE)
 endif()
 
 set(ENV{QIP_ROUNDS} 1)
+# Optional -DQUORUM=<backend>: run the whole comparison under a non-default
+# quorum backend (the slices arm of the fig12 gate).
+if(DEFINED QUORUM)
+  set(ENV{QIP_QUORUM} "${QUORUM}")
+endif()
 
 set(ENV{QIP_TRACE_FILE} "")
 execute_process(

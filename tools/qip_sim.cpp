@@ -4,7 +4,7 @@
 //           [--nodes N] [--range M] [--speed M/S] [--seed S]
 //           [--duration SECS] [--churn N] [--abrupt RATIO]
 //           [--pool N] [--csv FILE] [--trace FILE] [--quiet]
-//           [--rounds R] [--jobs N]
+//           [--rounds R] [--jobs N] [--quorum BACKEND]
 //
 // Joins N nodes sequentially, lets them roam for the duration, applies the
 // requested churn (departures + replacement arrivals), and prints a summary
@@ -17,6 +17,7 @@
 // chrome://tracing / Perfetto; any other extension gets JSONL) — inspect it
 // with `qip-trace summary <file>`.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -69,7 +70,8 @@ struct Options {
       "          [--nodes N] [--range M] [--speed M/S] [--seed S]\n"
       "          [--duration SECS] [--churn N] [--abrupt RATIO]\n"
       "          [--pool N] [--csv FILE] [--trace FILE] [--quiet]\n"
-      "          [--rounds R] [--jobs N]\n",
+      "          [--rounds R] [--jobs N]\n"
+      "          [--quorum majority|dynamic_linear|slices]\n",
       argv0);
   std::exit(2);
 }
@@ -112,6 +114,18 @@ Options parse(int argc, char** argv) {
       opt.rounds = parse_positive_u32("--rounds", value());
     } else if (arg == "--jobs") {
       opt.jobs = parse_positive_u32("--jobs", value());
+    } else if (arg == "--quorum") {
+      // Routed through QIP_QUORUM so every internally-built QipParams sees
+      // it (only the qip protocol consults it; baselines have no quorums).
+      const char* name = value();
+      if (!parse_quorum_backend(name)) {
+        std::fprintf(stderr,
+                     "--quorum %s is not a quorum backend (expected "
+                     "\"majority\", \"dynamic_linear\" or \"slices\")\n",
+                     name);
+        std::exit(2);
+      }
+      setenv("QIP_QUORUM", name, /*overwrite=*/1);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -120,6 +134,7 @@ Options parse(int argc, char** argv) {
     }
   }
   if (opt.nodes == 0 || opt.range <= 0 || opt.pool < 4) usage(argv[0]);
+  (void)quorum_backend_from_env();  // fail fast on a malformed QIP_QUORUM
   return opt;
 }
 
