@@ -1,0 +1,165 @@
+#include "campaign/journal.hpp"
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace qip {
+
+namespace {
+
+bool fail(std::string* err, const std::string& why) {
+  if (err) *err = why;
+  return false;
+}
+
+std::string header_line(const CampaignSpec& spec) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "campaign v1 digest=%016" PRIx64 " cells=%zu",
+                spec.digest(), spec.cell_count());
+  return buf;
+}
+
+}  // namespace
+
+CampaignJournal::~CampaignJournal() { close(); }
+
+void CampaignJournal::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void CampaignJournal::append(const std::string& line) {
+  QIP_ASSERT_MSG(file_ != nullptr, "journal not open");
+  std::fputs(line.c_str(), file_);
+  std::fputc('\n', file_);
+  // Durability: the runner only acts on journaled facts, so the fact must
+  // hit the disk before the action.  Campaign grids are coarse enough that
+  // one fsync per record is noise next to the cells themselves.
+  std::fflush(file_);
+  ::fsync(::fileno(file_));
+}
+
+bool CampaignJournal::open_fresh(const std::string& path,
+                                 const CampaignSpec& spec, std::string* err) {
+  if (std::FILE* existing = std::fopen(path.c_str(), "r")) {
+    std::fclose(existing);
+    return fail(err, path + " already exists — pass --resume to continue "
+                "that campaign, or point --out at a fresh directory");
+  }
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) return fail(err, "cannot create " + path);
+  append(header_line(spec));
+  return true;
+}
+
+bool CampaignJournal::open_resume(const std::string& path,
+                                  const CampaignSpec& spec,
+                                  std::vector<CellProgress>* progress,
+                                  std::string* err) {
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return fail(err, "cannot open " + path + " — nothing to resume");
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    contents = buf.str();
+  }
+  // A torn final line (no '\n') is the half-written record of the fatal
+  // signal: drop it.
+  const auto last_nl = contents.rfind('\n');
+  if (last_nl == std::string::npos) {
+    return fail(err, path + ": no complete records");
+  }
+  contents.resize(last_nl + 1);
+
+  const std::size_t n = spec.cell_count();
+  progress->assign(n, CellProgress{});
+  std::istringstream in(contents);
+  std::string line;
+  if (!std::getline(in, line)) return fail(err, path + ": empty journal");
+  if (line != header_line(spec)) {
+    return fail(err, path + ": journal header does not match this campaign "
+                "spec (different grid or cell count) — refusing to resume.\n"
+                "  journal: " + line + "\n  spec:    " + header_line(spec));
+  }
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream rec(line);
+    std::string kind;
+    std::uint64_t idx = 0;
+    if (!(rec >> kind >> idx) || idx >= n) {
+      return fail(err, path + ":" + std::to_string(lineno) +
+                  ": malformed record '" + line + "'");
+    }
+    CellProgress& cell = (*progress)[idx];
+    if (kind == "start") {
+      // Informational only; see resume semantics in the header comment.
+    } else if (kind == "done") {
+      std::uint64_t attempt = 0;
+      std::string digest;
+      if (!(rec >> attempt >> digest)) {
+        return fail(err, path + ":" + std::to_string(lineno) +
+                    ": malformed done record");
+      }
+      cell.status = CellStatus::kDone;
+      cell.result_digest = std::strtoull(digest.c_str(), nullptr, 16);
+    } else if (kind == "fail") {
+      std::uint64_t attempt = 0;
+      if (!(rec >> attempt)) {
+        return fail(err, path + ":" + std::to_string(lineno) +
+                    ": malformed fail record");
+      }
+      std::string reason;
+      std::getline(rec, reason);
+      if (!reason.empty() && reason.front() == ' ') reason.erase(0, 1);
+      ++cell.fails;
+      cell.last_reason = reason;
+    } else if (kind == "exhausted") {
+      // Re-armed on resume: stays pending, fail count carries over.
+      cell.status = CellStatus::kPending;
+    } else {
+      return fail(err, path + ":" + std::to_string(lineno) +
+                  ": unknown record kind '" + kind + "'");
+    }
+  }
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) return fail(err, "cannot reopen " + path);
+  return true;
+}
+
+void CampaignJournal::record_start(std::size_t idx, std::uint32_t attempt) {
+  append("start " + std::to_string(idx) + " " + std::to_string(attempt));
+}
+
+void CampaignJournal::record_done(std::size_t idx, std::uint32_t attempt,
+                                  std::uint64_t result_digest) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "done %zu %u %016" PRIx64, idx, attempt,
+                result_digest);
+  append(buf);
+}
+
+void CampaignJournal::record_fail(std::size_t idx, std::uint32_t attempt,
+                                  const std::string& reason) {
+  append("fail " + std::to_string(idx) + " " + std::to_string(attempt) + " " +
+         reason);
+}
+
+void CampaignJournal::record_exhausted(std::size_t idx,
+                                       std::uint32_t attempts) {
+  append("exhausted " + std::to_string(idx) + " " + std::to_string(attempts));
+}
+
+}  // namespace qip

@@ -1,0 +1,127 @@
+#include "campaign/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace qip {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_campaign_report(const CampaignSpec& spec,
+                                   const CampaignOutcome& outcome) {
+  std::string out = "qip-campaign v1\n";
+  out += "grid " + spec.canonical() + "\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "cells=%zu done=%zu exhausted=%zu\n\n",
+                outcome.cells.size(), outcome.done, outcome.exhausted);
+  out += buf;
+  out +=
+      "  idx protocol    nodes   range                 seed att status  "
+      "configured latency_hops protocol_hops joins             digest\n";
+  for (std::size_t i = 0; i < outcome.cells.size(); ++i) {
+    const CellOutcome& c = outcome.cells[i];
+    const std::uint32_t attempts =
+        c.status == CellStatus::kDone ? c.fails + 1 : c.fails;
+    std::snprintf(buf, sizeof(buf), "%5zu %-11s %5u %7.6g %020" PRIu64
+                  " %3u ",
+                  i, c.spec.protocol.c_str(), c.spec.nodes, c.spec.range,
+                  c.spec.seed, attempts);
+    out += buf;
+    if (c.status == CellStatus::kDone) {
+      std::snprintf(buf, sizeof(buf),
+                    "done    %10.6g %12.6g %13" PRIu64 " %5u %s\n",
+                    c.result.configured, c.result.latency_hops,
+                    c.result.protocol_hops, c.result.joins,
+                    hex64(c.result.state_digest).c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "FAILED  %10s %12s %13s %5s %18s\n", "-", "-", "-", "-",
+                    "-");
+    }
+    out += buf;
+  }
+  if (outcome.exhausted > 0) {
+    out += "\nexhausted cells (retry budget spent; re-run with --resume to "
+           "re-arm):\n";
+    for (std::size_t i = 0; i < outcome.cells.size(); ++i) {
+      const CellOutcome& c = outcome.cells[i];
+      if (c.status == CellStatus::kDone) continue;
+      std::snprintf(buf, sizeof(buf), "  %zu: %u failures, last: %s\n", i,
+                    c.fails, c.last_reason.c_str());
+      out += buf;
+    }
+  }
+  return out;
+}
+
+JsonValue render_campaign_json(const CampaignSpec& spec,
+                               const CampaignOutcome& outcome) {
+  JsonValue doc = JsonValue::object();
+  doc.set("bench", "qip_campaign");
+  doc.set("grid", spec.canonical());
+  doc.set("total", static_cast<std::int64_t>(outcome.cells.size()));
+  doc.set("done", static_cast<std::int64_t>(outcome.done));
+  doc.set("exhausted", static_cast<std::int64_t>(outcome.exhausted));
+  JsonValue cells = JsonValue::array();
+  for (std::size_t i = 0; i < outcome.cells.size(); ++i) {
+    const CellOutcome& c = outcome.cells[i];
+    JsonValue cell = JsonValue::object();
+    cell.set("index", static_cast<std::int64_t>(i));
+    cell.set("protocol", c.spec.protocol);
+    cell.set("nodes", c.spec.nodes);
+    cell.set("range", c.spec.range);
+    cell.set("seed", hex64(c.spec.seed));
+    cell.set("status",
+             c.status == CellStatus::kDone ? "done" : "exhausted");
+    cell.set("attempts",
+             c.status == CellStatus::kDone ? c.fails + 1 : c.fails);
+    if (c.status == CellStatus::kDone) {
+      cell.set("configured", c.result.configured);
+      cell.set("latency_hops", c.result.latency_hops);
+      cell.set("protocol_hops", c.result.protocol_hops);
+      cell.set("joins", c.result.joins);
+      cell.set("digest", hex64(c.result.state_digest));
+    } else {
+      cell.set("last_reason", c.last_reason);
+    }
+    cells.push(std::move(cell));
+  }
+  doc.set("cells", std::move(cells));
+  return doc;
+}
+
+bool write_campaign_artifacts(const CampaignSpec& spec,
+                              const CampaignOutcome& outcome,
+                              const std::string& out_dir, std::string* err) {
+  const std::string report = render_campaign_report(spec, outcome);
+  const std::string report_path = out_dir + "/report.txt";
+  {
+    std::FILE* f = std::fopen(report_path.c_str(), "w");
+    if (f == nullptr) {
+      if (err) *err = "cannot create " + report_path;
+      return false;
+    }
+    const bool wrote = std::fputs(report.c_str(), f) >= 0;
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed) {
+      if (err) *err = "cannot write " + report_path;
+      return false;
+    }
+  }
+  if (!render_campaign_json(spec, outcome)
+           .write_file(out_dir + "/BENCH_campaign.json")) {
+    if (err) *err = "cannot write " + out_dir + "/BENCH_campaign.json";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace qip

@@ -1,0 +1,32 @@
+// Consolidated campaign reporting: the human table (report.txt) and the
+// machine baseline (BENCH_campaign.json).
+//
+// Both artifacts are pure functions of the campaign outcome — no wall-clock
+// timestamps, no host names, no scheduling order — which is what makes the
+// resume-invariance gate possible: an interrupted-then-resumed campaign must
+// reproduce them byte for byte.
+#pragma once
+
+#include <string>
+
+#include "campaign/runner.hpp"
+#include "util/json_writer.hpp"
+
+namespace qip {
+
+/// The fixed-width results table plus, when cells exhausted their retry
+/// budget, a failure appendix naming each with its last recorded reason.
+std::string render_campaign_report(const CampaignSpec& spec,
+                                   const CampaignOutcome& outcome);
+
+/// bench="qip_campaign" JSON: grid metadata plus one entry per cell
+/// (check_bench_json.cmake KIND=campaign validates the schema).
+JsonValue render_campaign_json(const CampaignSpec& spec,
+                               const CampaignOutcome& outcome);
+
+/// Writes report.txt and BENCH_campaign.json into `out_dir`.
+bool write_campaign_artifacts(const CampaignSpec& spec,
+                              const CampaignOutcome& outcome,
+                              const std::string& out_dir, std::string* err);
+
+}  // namespace qip

@@ -1,0 +1,87 @@
+// One campaign cell as an executable, checkpointable scenario.
+//
+// A CellRunner owns everything one cell needs — SimContext, World, protocol
+// engine, Driver — and exposes the scenario as an ordered sequence of
+// *phases* (bringup, churn steps, roam slices).  Phases are the campaign's
+// checkpoint grain: between phases no host-side control flow is suspended
+// mid-loop, so a snapshot (campaign/snapshot.hpp) can name a phase boundary
+// and a restore can re-materialize the exact state there deterministically.
+//
+// state_digest() folds every piece of observable simulation state — sim
+// clock, event counts, both RNG streams, message accounting, per-node
+// configuration records, node positions — into one 64-bit value.  Two runs
+// of the same spec agree on the digest at every phase boundary iff they are
+// byte-identical; the snapshot layer and the campaign journal both pin it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "campaign/campaign_spec.hpp"
+#include "harness/driver.hpp"
+#include "harness/world.hpp"
+#include "net/protocol.hpp"
+#include "sim/sim_context.hpp"
+
+namespace qip {
+
+/// The measurements a finished cell reports (the qip-sim summary set).
+/// render()/parse() round-trip through the per-cell result artifact the
+/// campaign runner writes; doubles render round-trippably so a re-run cell
+/// reproduces the artifact byte-for-byte.
+struct CellResult {
+  double configured = 0.0;  ///< fraction of joins that ended configured
+  double latency_hops = 0.0;
+  std::uint64_t protocol_hops = 0;
+  std::uint32_t joins = 0;
+  std::uint64_t state_digest = 0;
+
+  std::string render(const CellSpec& spec) const;
+  static bool parse(const std::string& text, CellSpec* spec, CellResult* out);
+};
+
+class CellRunner {
+ public:
+  /// Builds the world and engine for `spec` on a fresh SimContext seeded
+  /// with the cell seed.  Throws std::invalid_argument on an unknown
+  /// protocol name.
+  explicit CellRunner(const CellSpec& spec);
+  ~CellRunner();
+
+  const CellSpec& spec() const { return spec_; }
+  SimContext& ctx() { return *ctx_; }
+  World& world() { return *world_; }
+
+  /// Phase layout: [0] bringup (join all + settle), [1..churn] one
+  /// departure+replacement each, then roam slices of <= 1 s of simulated
+  /// time until `duration` is spent.
+  std::size_t phase_count() const { return phase_count_; }
+  std::size_t phases_run() const { return phases_run_; }
+
+  /// Runs the next phase (phases execute strictly in order).
+  void run_phase();
+  /// Runs every remaining phase.
+  void run_to_end() {
+    while (phases_run_ < phase_count_) run_phase();
+  }
+
+  /// Digest of the full observable simulation state; see file comment.
+  std::uint64_t state_digest() const;
+
+  /// Only meaningful once every phase has run.
+  CellResult result() const;
+
+ private:
+  CellSpec spec_;
+  std::unique_ptr<SimContext> ctx_;
+  std::unique_ptr<World> world_;
+  std::unique_ptr<AutoconfProtocol> proto_;
+  std::unique_ptr<Driver> driver_;
+  std::size_t phase_count_ = 0;
+  std::size_t phases_run_ = 0;
+  std::size_t roam_slices_ = 0;
+};
+
+}  // namespace qip

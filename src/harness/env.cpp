@@ -34,6 +34,23 @@ std::uint32_t parse_positive_u32(const char* what, const char* text) {
   return static_cast<std::uint32_t>(v);
 }
 
+std::uint32_t parse_u32(const char* what, const char* text) {
+  if (text == nullptr || *text == '\0') {
+    die(what, text ? text : "", "a non-negative integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' ||
+      std::strchr(text, '-') != nullptr) {
+    die(what, text, "a non-negative integer");
+  }
+  if (v > 0xffffffffULL) {
+    die(what, text, "a non-negative integer up to 2^32-1");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
 std::uint64_t parse_u64(const char* what, const char* text) {
   if (text == nullptr || *text == '\0') {
     die(what, text ? text : "", "an unsigned integer");
@@ -52,6 +69,12 @@ std::uint32_t env_positive_u32(const char* name, std::uint32_t fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr) return fallback;
   return parse_positive_u32(name, env);
+}
+
+std::uint32_t env_u32(const char* name, std::uint32_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  return parse_u32(name, env);
 }
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {

@@ -15,6 +15,11 @@ namespace qip {
 /// malformed, zero or out of range → stderr diagnostic + exit(2).
 std::uint32_t env_positive_u32(const char* name, std::uint32_t fallback);
 
+/// Reads `name` as a non-negative decimal integer (zero allowed — retry
+/// counts legitimately say "never retry").  Unset → fallback; malformed or
+/// out of range → exit(2).
+std::uint32_t env_u32(const char* name, std::uint32_t fallback);
+
 /// Reads `name` as an unsigned 64-bit integer (decimal, or hex/octal with
 /// the usual 0x/0 prefixes).  Unset → fallback; malformed → exit(2).
 std::uint64_t env_u64(const char* name, std::uint64_t fallback);
@@ -22,6 +27,9 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback);
 /// Parses a command-line value with the same strictness and diagnostics
 /// as env_positive_u32 (`what` names the flag in the error message).
 std::uint32_t parse_positive_u32(const char* what, const char* text);
+
+/// Parses a command-line value with the same strictness as env_u32.
+std::uint32_t parse_u32(const char* what, const char* text);
 
 /// Parses a command-line value with the same strictness as env_u64.
 std::uint64_t parse_u64(const char* what, const char* text);

@@ -26,6 +26,8 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -33,6 +35,23 @@
 #include "sim/sim_context.hpp"
 
 namespace qip {
+
+/// What run_cells() rethrows when a cell throws: the original message,
+/// prefixed with the cell's identity.  A bare "quorum timed out" from a
+/// 4000-cell campaign is undebuggable; "cell 2317 (seed 0x8f3a...)" can be
+/// re-run in isolation.  index()/seed() expose the identity structurally for
+/// harnesses (the campaign runner journals them).
+class CellFailure : public std::runtime_error {
+ public:
+  CellFailure(std::size_t index, std::uint64_t seed, const std::string& what);
+
+  std::size_t index() const { return index_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::size_t index_;
+  std::uint64_t seed_;
+};
 
 /// Reads QIP_JOBS (strict parse: malformed values exit(2)), defaulting to
 /// `fallback`.  The value is a worker-thread count; 1 means sequential.
@@ -54,8 +73,12 @@ std::uint64_t derive_cell_seed(std::uint64_t base, std::uint64_t xi,
 ///                     idx order, after the cell's context was absorb()ed
 ///                     into `parent`.
 ///
-/// If a cell throws, the lowest-index exception is rethrown on the calling
-/// thread after all workers drain; cells at higher indices are discarded.
+/// If a cell throws, the lowest-index failure is rethrown on the calling
+/// thread as a CellFailure carrying (cell index, seed); cells at higher
+/// indices are discarded, and cells still queued behind a recorded failure
+/// are cancelled instead of run to completion — their results could never be
+/// observed, so running them only burns time between the fault and the
+/// report.
 template <typename T, typename CellFn, typename MergeFn>
 void run_cells(SimContext& parent, std::uint32_t jobs, std::size_t total,
                CellFn&& cell, MergeFn&& merge) {
@@ -63,8 +86,17 @@ void run_cells(SimContext& parent, std::uint32_t jobs, std::size_t total,
 
   if (jobs <= 1 || total == 1) {
     for (std::size_t idx = 0; idx < total; ++idx) {
-      SimContext ctx(SimContext::Replica{}, parent, parent.derive_seed(idx));
-      T result = cell(idx, ctx);
+      const std::uint64_t seed = parent.derive_seed(idx);
+      SimContext ctx(SimContext::Replica{}, parent, seed);
+      T result = [&]() -> T {
+        try {
+          return cell(idx, ctx);
+        } catch (const std::exception& e) {
+          throw CellFailure(idx, seed, e.what());
+        } catch (...) {
+          throw CellFailure(idx, seed, "unknown exception");
+        }
+      }();
       parent.absorb(ctx);
       merge(idx, std::move(result));
     }
@@ -88,6 +120,12 @@ void run_cells(SimContext& parent, std::uint32_t jobs, std::size_t total,
   std::condition_variable cv_space;  // merger -> workers: frontier advanced
   std::size_t merged = 0;            // guarded by mu
   std::atomic<std::size_t> next{0};
+  // Lowest failed index so far.  A cell queued behind a failure can never be
+  // observed (results past the lowest failure are discarded), so workers
+  // skip it instead of running it; the winning exception can only move down,
+  // never up, so nothing that still matters is skipped.
+  constexpr std::size_t kNoFailure = ~static_cast<std::size_t>(0);
+  std::atomic<std::size_t> failed_at{kNoFailure};
 
   std::vector<std::thread> pool;
   pool.reserve(workers);
@@ -96,20 +134,38 @@ void run_cells(SimContext& parent, std::uint32_t jobs, std::size_t total,
       for (;;) {
         const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
         if (idx >= total) return;
-        {
+        bool cancelled = idx > failed_at.load(std::memory_order_acquire);
+        if (!cancelled) {
           // Backpressure: stay within `window` of the merge frontier so
           // unmerged replica contexts (and their trace rings) stay O(jobs).
           std::unique_lock<std::mutex> lock(mu);
           cv_space.wait(lock, [&] { return merged + window > idx; });
+          cancelled = idx > failed_at.load(std::memory_order_acquire);
         }
-        auto ctx = std::make_unique<SimContext>(
-            SimContext::Replica{}, parent, parent.derive_seed(idx));
+        std::unique_ptr<SimContext> ctx;
         std::optional<T> result;
         std::exception_ptr error;
-        try {
-          result.emplace(cell(idx, *ctx));
-        } catch (...) {
-          error = std::current_exception();
+        if (!cancelled) {
+          const std::uint64_t seed = parent.derive_seed(idx);
+          ctx = std::make_unique<SimContext>(SimContext::Replica{}, parent,
+                                             seed);
+          try {
+            result.emplace(cell(idx, *ctx));
+          } catch (const std::exception& e) {
+            error = std::make_exception_ptr(CellFailure(idx, seed, e.what()));
+          } catch (...) {
+            error = std::make_exception_ptr(
+                CellFailure(idx, seed, "unknown exception"));
+          }
+          if (error) {
+            // CAS-min: record the lowest failed index.
+            std::size_t cur = failed_at.load(std::memory_order_relaxed);
+            while (idx < cur &&
+                   !failed_at.compare_exchange_weak(
+                       cur, idx, std::memory_order_release,
+                       std::memory_order_relaxed)) {
+            }
+          }
         }
         {
           std::lock_guard<std::mutex> lock(mu);
@@ -135,7 +191,7 @@ void run_cells(SimContext& parent, std::uint32_t jobs, std::size_t total,
       lock.unlock();
       if (slot.error) {
         if (!first_error) first_error = slot.error;
-      } else if (!first_error) {
+      } else if (!first_error && slot.result) {
         parent.absorb(*slot.ctx);
         merge(idx, std::move(*slot.result));
       }

@@ -7,6 +7,7 @@
 // rounds.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -130,6 +131,16 @@ class Rng {
       using std::swap;
       swap(v[i - 1], v[index(i)]);
     }
+  }
+
+  /// Raw engine state, for simulation snapshots (campaign/snapshot.hpp):
+  /// a saved stream restores mid-sequence, bit-exactly.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    QIP_ASSERT(s[0] || s[1] || s[2] || s[3]);
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
   }
 
   /// Derives an independent child generator; (seed, stream) pairs that differ

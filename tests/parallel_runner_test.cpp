@@ -15,7 +15,10 @@
 // protocol in run_cells: worker → merger slot publication, backpressure.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <thread>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -156,18 +159,65 @@ TEST(RunCells, LowestIndexExceptionWinsAndLaterCellsAreDiscarded) {
           parent, jobs, 12,
           [](std::size_t idx, SimContext&) -> int {
             if (idx == 3 || idx == 7) {
-              throw std::runtime_error("cell " + std::to_string(idx));
+              throw std::runtime_error("boom " + std::to_string(idx));
             }
             return static_cast<int>(idx);
           },
           [&](std::size_t idx, int) { merged.push_back(idx); });
       FAIL() << "run_cells swallowed the cell exception";
-    } catch (const std::runtime_error& e) {
-      // Deterministic even when cell 7 finishes (and fails) first.
-      EXPECT_STREQ(e.what(), "cell 3");
+    } catch (const CellFailure& e) {
+      // Deterministic even when cell 7 finishes (and fails) first — and the
+      // rethrown failure carries the cell's identity, not just the payload:
+      // index and seed name the one simulation to re-run in isolation.
+      EXPECT_EQ(e.index(), 3u);
+      EXPECT_EQ(e.seed(), parent.derive_seed(3));
+      EXPECT_NE(std::string(e.what()).find("cell 3 (seed 0x"),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("boom 3"), std::string::npos)
+          << e.what();
     }
     EXPECT_EQ(merged, (std::vector<std::size_t>{0, 1, 2}));
   }
+}
+
+TEST(RunCells, NonStdExceptionsStillCarryCellIdentity) {
+  SimContext parent(5);
+  try {
+    run_cells<int>(
+        parent, /*jobs=*/1, /*total=*/2,
+        [](std::size_t, SimContext&) -> int { throw 42; },
+        [](std::size_t, int) {});
+    FAIL() << "run_cells swallowed the cell exception";
+  } catch (const CellFailure& e) {
+    EXPECT_EQ(e.index(), 0u);
+    EXPECT_NE(std::string(e.what()).find("unknown exception"),
+              std::string::npos);
+  }
+}
+
+TEST(RunCells, FailureCancelsStillQueuedCells) {
+  // Cell 0 fails immediately; everything queued behind the failure should be
+  // skipped, not run to completion.  With the backpressure window (2*jobs+2)
+  // only a bounded prefix can even start before the failure is recorded, so
+  // an executed count anywhere near `total` means cancellation is broken.
+  std::atomic<std::size_t> executed{0};
+  SimContext parent(9);
+  try {
+    run_cells<int>(
+        parent, /*jobs=*/4, /*total=*/400,
+        [&](std::size_t idx, SimContext&) -> int {
+          if (idx == 0) throw std::runtime_error("first cell fails");
+          executed.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          return 0;
+        },
+        [](std::size_t, int) {});
+    FAIL() << "run_cells swallowed the cell exception";
+  } catch (const CellFailure& e) {
+    EXPECT_EQ(e.index(), 0u);
+  }
+  EXPECT_LT(executed.load(), 100u);
 }
 
 TEST(Parallel, DeriveCellSeedIsPureAndCollisionFree) {

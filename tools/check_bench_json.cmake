@@ -2,7 +2,7 @@
 # carry the keys downstream tooling reads.  Invoked by ctest (see
 # tools/CMakeLists.txt) as
 #
-#   cmake -DJSON_FILE=<path> -DKIND=adversary|micro|event_queue|quorum \
+#   cmake -DJSON_FILE=<path> -DKIND=adversary|micro|event_queue|quorum|campaign \
 #         -P check_bench_json.cmake
 #
 # KIND=event_queue layers the scheduler acceptance gate on top of the micro
@@ -29,6 +29,13 @@
 #   * BENCH_quorum.json — the ablation_quorum_backend checker verdicts and
 #     availability grid; regenerate with
 #     QIP_BENCH_JSON=BENCH_quorum.json QIP_ROUNDS=2 bench/ablation_quorum_backend
+#   * BENCH_obs.json — a google-benchmark run; regenerate with
+#     bench/micro_obs --benchmark_out=BENCH_obs.json
+#                     --benchmark_out_format=json
+#   * BENCH_campaign.json — a qip-campaign reference grid; regenerate with
+#     tools/qip-campaign --protocols qip,dad --nodes 6 --seeds 2 --duration 1 \
+#         --out /tmp/campaign-baseline --quiet
+#     and copy /tmp/campaign-baseline/BENCH_campaign.json to the repo root
 if(NOT DEFINED JSON_FILE OR NOT DEFINED KIND)
   message(FATAL_ERROR
       "check_bench_json.cmake needs -DJSON_FILE=... and -DKIND=...")
@@ -208,8 +215,49 @@ elseif(KIND STREQUAL "micro" OR KIND STREQUAL "event_queue")
         "calendar=${calendar_time} (>=3x, zero allocs) — OK")
   endif()
   message(STATUS "${JSON_FILE}: ${n_benchmarks} benchmarks — OK")
+elseif(KIND STREQUAL "campaign")
+  require_key(bench "bench")
+  if(NOT bench STREQUAL "qip_campaign")
+    message(FATAL_ERROR "${JSON_FILE}: bench = '${bench}', expected "
+        "'qip_campaign'")
+  endif()
+  require_key(grid "grid")
+  require_key(n_total "total")
+  require_key(n_done "done")
+  require_key(n_exhausted "exhausted")
+  # The committed baseline must be a clean grid: a reference with exhausted
+  # cells would bake a broken run into the repo.
+  if(NOT n_exhausted EQUAL 0)
+    message(FATAL_ERROR "${JSON_FILE}: baseline has ${n_exhausted} exhausted "
+        "cells — regenerate from a campaign that completed")
+  endif()
+  string(JSON n_cells ERROR_VARIABLE err LENGTH "${doc}" "cells")
+  if(err OR n_cells EQUAL 0)
+    message(FATAL_ERROR "${JSON_FILE}: 'cells' is missing or empty: ${err}")
+  endif()
+  if(NOT n_cells EQUAL n_total)
+    message(FATAL_ERROR "${JSON_FILE}: total=${n_total} but cells has "
+        "${n_cells} entries")
+  endif()
+  math(EXPR last "${n_cells} - 1")
+  foreach(i RANGE ${last})
+    foreach(key index protocol nodes range seed status attempts configured
+                latency_hops protocol_hops joins digest)
+      string(JSON v ERROR_VARIABLE err GET "${doc}" "cells" ${i} "${key}")
+      if(err)
+        message(FATAL_ERROR "${JSON_FILE}: cells[${i}] lacks '${key}': ${err}")
+      endif()
+    endforeach()
+    string(JSON cell_status GET "${doc}" "cells" ${i} "status")
+    if(NOT cell_status STREQUAL "done")
+      message(FATAL_ERROR "${JSON_FILE}: cells[${i}] status "
+          "'${cell_status}' — the baseline must contain only completed "
+          "cells")
+    endif()
+  endforeach()
+  message(STATUS "${JSON_FILE}: ${n_cells}/${n_total} cells done — OK")
 else()
   message(FATAL_ERROR
-      "unknown KIND '${KIND}' (expected adversary, micro, event_queue or "
-      "quorum)")
+      "unknown KIND '${KIND}' (expected adversary, micro, event_queue, "
+      "quorum or campaign)")
 endif()

@@ -1,0 +1,89 @@
+# The campaign failure-recovery gate (docs/CAMPAIGN.md).
+# Invoked by ctest (see tools/CMakeLists.txt) as
+#
+#   cmake -DCAMPAIGN=<qip-campaign exe> -DWORK_DIR=<scratch dir> \
+#         -P check_campaign_recovery.cmake
+#
+# Pins the graceful-degradation half of ROADMAP item 5: injected worker
+# crashes and hangs are retried with backoff and surfaced in the journal,
+# and a cell that exhausts its retry budget is *marked*, never fatal — the
+# campaign still completes and reports every other cell.
+if(NOT DEFINED CAMPAIGN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+      "check_campaign_recovery.cmake needs -DCAMPAIGN=... and -DWORK_DIR=...")
+endif()
+
+set(grid --protocols qip --nodes 6 --seeds 2 --duration 1 --jobs 2 --quiet)
+
+# --- part 1: crash + hang both recover within the retry budget -------------
+file(REMOVE_RECURSE "${WORK_DIR}/recovers")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          QIP_CAMPAIGN_INJECT=crash:0@0,hang:1@0
+          QIP_CAMPAIGN_DEADLINE_MS=2000
+          QIP_CAMPAIGN_BACKOFF_MS=10
+          "${CAMPAIGN}" ${grid} --retries 2 --out "${WORK_DIR}/recovers"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE report
+  ERROR_VARIABLE stderr
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+      "campaign with one crash and one hang injected did not recover "
+      "(exit ${rc}):\n${stderr}")
+endif()
+if(report MATCHES "FAILED")
+  message(FATAL_ERROR
+      "recovered campaign still reports FAILED cells:\n${report}")
+endif()
+file(READ "${WORK_DIR}/recovers/journal.txt" journal)
+if(NOT journal MATCHES "fail 0 0 crash \\(injected\\)")
+  message(FATAL_ERROR
+      "journal lacks the injected-crash failure record:\n${journal}")
+endif()
+if(NOT journal MATCHES "fail 1 0 deadline")
+  message(FATAL_ERROR
+      "journal lacks the deadline record for the hung worker — the "
+      "watchdog never fired:\n${journal}")
+endif()
+if(NOT journal MATCHES "done 0 1 " OR NOT journal MATCHES "done 1 1 ")
+  message(FATAL_ERROR
+      "journal lacks the attempt-1 recoveries:\n${journal}")
+endif()
+
+# --- part 2: exhaustion is marked, not fatal -------------------------------
+file(REMOVE_RECURSE "${WORK_DIR}/exhausts")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          QIP_CAMPAIGN_INJECT=crash:0@0,crash:0@1
+          QIP_CAMPAIGN_BACKOFF_MS=10
+          "${CAMPAIGN}" ${grid} --retries 1 --out "${WORK_DIR}/exhausts"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE report
+  ERROR_VARIABLE stderr
+)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+      "campaign with an unrecoverable cell should exit 1 (marked, not "
+      "fatal), got ${rc}:\n${stderr}")
+endif()
+if(NOT report MATCHES "exhausted cells")
+  message(FATAL_ERROR
+      "report does not surface the exhausted cell:\n${report}")
+endif()
+if(NOT report MATCHES "done")
+  message(FATAL_ERROR
+      "the healthy cell did not complete — exhaustion took the campaign "
+      "down with it:\n${report}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/exhausts/BENCH_campaign.json")
+  message(FATAL_ERROR "no BENCH_campaign.json after graceful degradation")
+endif()
+file(READ "${WORK_DIR}/exhausts/journal.txt" journal)
+if(NOT journal MATCHES "exhausted 0 2")
+  message(FATAL_ERROR
+      "journal lacks the exhausted record for cell 0:\n${journal}")
+endif()
+message(STATUS
+    "campaign recovery: crash retried, hang deadline-killed and retried, "
+    "exhaustion marked without aborting — OK")

@@ -1,0 +1,78 @@
+# The campaign resume-invariance gate (docs/CAMPAIGN.md).
+# Invoked by ctest (see tools/CMakeLists.txt) as
+#
+#   cmake -DCAMPAIGN=<qip-campaign exe> -DWORK_DIR=<scratch dir> \
+#         -P check_resume_invariance.cmake
+#
+# Acceptance criterion from ROADMAP item 5: a campaign that is SIGKILLed
+# mid-grid and resumed with --resume must produce a consolidated report
+# byte-identical to an uninterrupted run.  The kill is deterministic —
+# QIP_CAMPAIGN_INJECT=die-after:2 makes the campaign parent raise SIGKILL
+# right after journaling its second `done` record — so the gate needs no
+# background processes or racy timers.
+if(NOT DEFINED CAMPAIGN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+      "check_resume_invariance.cmake needs -DCAMPAIGN=... and -DWORK_DIR=...")
+endif()
+
+set(grid
+    --protocols qip,dad --nodes 6 --seeds 2 --duration 1 --jobs 2 --quiet)
+
+file(REMOVE_RECURSE "${WORK_DIR}/uninterrupted" "${WORK_DIR}/interrupted")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Reference: the 4-cell grid end to end, no faults.
+execute_process(
+  COMMAND "${CAMPAIGN}" ${grid} --out "${WORK_DIR}/uninterrupted"
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE stderr
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+      "uninterrupted campaign exited with ${rc}:\n${stderr}")
+endif()
+
+# Interrupted run: the parent SIGKILLs itself after the second done record.
+# It therefore must NOT exit cleanly.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env QIP_CAMPAIGN_INJECT=die-after:2
+          "${CAMPAIGN}" ${grid} --out "${WORK_DIR}/interrupted"
+  RESULT_VARIABLE rc
+)
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+      "die-after:2 campaign exited 0 — the injected mid-grid kill never "
+      "fired, so this gate is not testing resume")
+endif()
+if(NOT EXISTS "${WORK_DIR}/interrupted/journal.txt")
+  message(FATAL_ERROR "killed campaign left no journal to resume from")
+endif()
+
+# Resume: only the incomplete cells re-run, then the report is rebuilt.
+execute_process(
+  COMMAND "${CAMPAIGN}" ${grid} --out "${WORK_DIR}/interrupted" --resume
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE stderr
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--resume exited with ${rc}:\n${stderr}")
+endif()
+
+foreach(artifact report.txt BENCH_campaign.json)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORK_DIR}/uninterrupted/${artifact}"
+            "${WORK_DIR}/interrupted/${artifact}"
+    RESULT_VARIABLE same
+  )
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+        "${artifact} differs between the uninterrupted and the "
+        "SIGKILLed+resumed campaign — resume is not invariant.\n"
+        "  ${WORK_DIR}/uninterrupted/${artifact}\n"
+        "  ${WORK_DIR}/interrupted/${artifact}")
+  endif()
+endforeach()
+message(STATUS
+    "resume invariance: report.txt and BENCH_campaign.json byte-identical "
+    "after SIGKILL at done=2 + --resume — OK")
