@@ -89,6 +89,23 @@ static void BM_MetricsCounterLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsCounterLookup);
 
+/// The ProfileScope exit path: interned by site address after the first
+/// observation.  `slow_lookups` must report 0 — one string-keyed map walk
+/// in the timed region is a regression (tests/obs_test.cpp enforces the
+/// same invariant functionally).
+static void BM_ProfileObserveInterned(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  static const char* kSite = "bench_site";
+  reg.profile_histogram(kSite);  // warm the intern cache
+  const std::uint64_t before = reg.map_lookups();
+  for (auto _ : state) {
+    reg.profile_histogram(kSite).observe(1.5);
+  }
+  state.counters["slow_lookups"] =
+      static_cast<double>(reg.map_lookups() - before);
+}
+BENCHMARK(BM_ProfileObserveInterned);
+
 /// The honest number: a full bring-up through the instrumented transport,
 /// tracing off vs on.  Arg(0)=off, Arg(1)=on.
 static void BM_BringupTraced(benchmark::State& state) {

@@ -17,9 +17,8 @@ const char* to_string(AddressStatus status) {
 }
 
 AddressRecord AllocationTable::get(IpAddress a) const {
-  auto it = records_.find(a);
-  if (it == records_.end()) return AddressRecord{};
-  return it->second;
+  const AddressRecord* rec = records_.find(a);
+  return rec ? *rec : AddressRecord{};
 }
 
 AddressRecord AllocationTable::commit_allocate(IpAddress a,
@@ -46,14 +45,14 @@ AddressRecord AllocationTable::commit_free(IpAddress a,
 }
 
 bool AllocationTable::adopt_if_newer(IpAddress a, const AddressRecord& record) {
-  auto it = records_.find(a);
-  if (it == records_.end()) {
+  AddressRecord* mine = records_.find(a);
+  if (mine == nullptr) {
     if (record == AddressRecord{}) return false;
-    records_.emplace(a, record);
+    records_[a] = record;
     return true;
   }
-  if (record.timestamp > it->second.timestamp) {
-    it->second = record;
+  if (record.timestamp > mine->timestamp) {
+    *mine = record;
     return true;
   }
   return false;
@@ -65,23 +64,25 @@ void AllocationTable::install(IpAddress a, const AddressRecord& record) {
 
 std::size_t AllocationTable::merge_newer(const AllocationTable& other) {
   std::size_t adopted = 0;
-  for (const auto& [addr, rec] : other.records_) {
+  other.records_.for_each([&](IpAddress addr, const AddressRecord& rec) {
     if (adopt_if_newer(addr, rec)) ++adopted;
-  }
+  });
   return adopted;
 }
 
 std::uint64_t AllocationTable::allocated_count() const {
   std::uint64_t n = 0;
-  for (const auto& [addr, rec] : records_)
+  records_.for_each([&](IpAddress, const AddressRecord& rec) {
     if (rec.status == AddressStatus::kAllocated) ++n;
+  });
   return n;
 }
 
 std::vector<IpAddress> AllocationTable::known_addresses() const {
   std::vector<IpAddress> out;
   out.reserve(records_.size());
-  for (const auto& [addr, rec] : records_) out.push_back(addr);
+  records_.for_each(
+      [&](IpAddress addr, const AddressRecord&) { out.push_back(addr); });
   std::sort(out.begin(), out.end());
   return out;
 }

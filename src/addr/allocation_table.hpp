@@ -9,10 +9,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "addr/ip_address.hpp"
+#include "util/flat_hash.hpp"
 
 namespace qip {
 
@@ -35,6 +35,13 @@ struct AddressRecord {
 
 /// Sparse table: addresses without an entry are implicitly kFree at
 /// timestamp 0 (the initial state of every copy).
+///
+/// Backed by a flat open-addressing hash (util/flat_hash.hpp): every head
+/// holds one table plus a replica copy per QDSet member, and quorum rounds
+/// probe them on the hot path, so record lookups stay one cache line and
+/// replication copies are a single flat-array clone.  Internal order never
+/// escapes: every order-sensitive consumer goes through known_addresses(),
+/// which sorts (docs/SCALE.md).
 class AllocationTable {
  public:
   /// Record for `a`, or the implicit initial record.
@@ -74,7 +81,7 @@ class AllocationTable {
   std::vector<IpAddress> known_addresses() const;
 
  private:
-  std::unordered_map<IpAddress, AddressRecord> records_;
+  FlatHashMap<IpAddress, AddressRecord> records_;
 };
 
 }  // namespace qip

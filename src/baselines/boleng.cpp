@@ -87,7 +87,7 @@ void BolengProtocol::node_entered(NodeId id) {
 
   // Announce the new maximum right away (one transmission): neighbors adopt
   // it, which is what keeps back-to-back arrivals from reusing it.
-  transport().local_broadcast(
+  transport().local_broadcast_view(
       id, Traffic::kMaintenance,
       [this, max = st.ip](NodeId n, std::uint32_t) {
         if (!alive(n)) return;
@@ -134,7 +134,7 @@ void BolengProtocol::beacon_tick() {
   }
   for (NodeId id : configured) {
     const auto& st = node(id);
-    transport().local_broadcast(
+    transport().local_broadcast_view(
         id, Traffic::kMaintenance,
         [this, max = st.max_seen](NodeId n, std::uint32_t) {
           if (!alive(n)) return;

@@ -154,7 +154,7 @@ void BuddyProtocol::sync_tick() {
     if (st.configured && topology().has_node(id)) configured.push_back(id);
   }
   for (NodeId id : configured) {
-    transport().flood_component(
+    transport().flood_component_view(
         id, Traffic::kMaintenance,
         [this, id](NodeId n, std::uint32_t) {
           if (!alive(n) || !alive(id)) return;
@@ -176,7 +176,7 @@ void BuddyProtocol::sync_tick() {
     if (!gone) continue;
     const NodeId lost = st.buddy;
     st.buddy = kNoNode;
-    transport().flood_component(
+    transport().flood_component_view(
         id, Traffic::kReclamation, [this, lost](NodeId n, std::uint32_t) {
           if (!alive(n)) return;
           node(n).global_table.erase(lost);

@@ -261,7 +261,7 @@ void CTreeProtocol::root_reclaim(NodeId dead_coordinator) {
   // node configured by the dead coordinator replies to the root directly.
   auto view = root_view_.find(dead_coordinator);
   if (view == root_view_.end()) return;
-  transport().flood_component(
+  transport().flood_component_view(
       root_, Traffic::kReclamation,
       [this, dead_coordinator](NodeId n, std::uint32_t) {
         if (!alive(n)) return;

@@ -83,7 +83,7 @@ void DadProtocol::areq_round(NodeId id) {
   // requestor must wait long enough for the farthest possible reply).
   const std::uint32_t ecc = topology().eccentricity(id);
   st.hops += ecc > 0 ? 2ULL * ecc : 1ULL;
-  transport().flood_component(
+  transport().flood_component_view(
       id, Traffic::kConfiguration,
       [this, id, candidate = st.candidate](NodeId n, std::uint32_t) {
         if (!alive(n) || !alive(id)) return;

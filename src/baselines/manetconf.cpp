@@ -175,7 +175,7 @@ void ManetConf::conclude(std::uint64_t pending_id) {
 
   // Commit: the initiator floods the allocation so every table updates.
   ini.used.insert(p.candidate);
-  transport().flood_component(
+  transport().flood_component_view(
       p.initiator, Traffic::kConfiguration,
       [this, candidate = p.candidate](NodeId n, std::uint32_t) {
         if (!alive(n)) return;
@@ -211,7 +211,7 @@ void ManetConf::node_departing(NodeId id) {
   if (it == nodes_.end() || !it->second.configured) return;
   const IpAddress addr = it->second.ip;
   // Graceful leave: flood the release so every table forgets the address.
-  transport().flood_component(
+  transport().flood_component_view(
       id, Traffic::kDeparture, [this, addr](NodeId n, std::uint32_t) {
         if (!alive(n)) return;
         node(n).used.erase(addr);

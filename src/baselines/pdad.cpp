@@ -97,7 +97,7 @@ void PdadProtocol::routing_tick() {
     auto& st = node(id);
     const std::uint64_t seq = ++st.seq;
     const IpAddress addr = st.ip;
-    transport().flood_component(
+    transport().flood_component_view(
         id, Traffic::kHello,
         [this, addr, seq, round](NodeId n, std::uint32_t hops) {
           if (!alive(n)) return;

@@ -78,7 +78,7 @@ void WeakDadProtocol::update_tick() {
   }
   for (NodeId id : configured) {
     const auto& st = node(id);
-    transport().flood_component(
+    transport().flood_component_view(
         id, Traffic::kMaintenance,
         [this, addr = st.ip, key = st.key](NodeId n, std::uint32_t) {
           if (!alive(n)) return;

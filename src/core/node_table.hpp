@@ -1,0 +1,157 @@
+// Slab-allocated per-node protocol state keyed by dense rank.
+//
+// The engine used to keep `std::map<NodeId, QipNodeState>`: every lookup a
+// pointer chase down a red-black tree, every full scan (hello tick,
+// location updates, merge scan — all O(n) per tick) hopping between
+// heap-scattered tree nodes.  At metropolis scale (n >= 100k,
+// docs/SCALE.md) that map walk dominates the maintenance path.
+//
+// NodeTable replaces it with three planes:
+//
+//   * a slot slab (std::deque, so references are stable across growth —
+//     handlers hold `QipNodeState&` while sending) holding the states;
+//   * a dense rank index: id -> slot as a direct vector lookup (driver ids
+//     are sequential), making find()/contains() O(1) with one probe;
+//   * a lazily sorted live-id list for deterministic ascending-id
+//     iteration — exactly the order std::map gave, which figure outputs
+//     and protocol scans observe, so the swap is behavior-invariant.
+//
+// Departed slots go on a free list and are recycled; their state is reset
+// to a default-constructed QipNodeState immediately so container payloads
+// (tables, replica copies) release at departure, not at slot reuse.
+//
+// Structural mutations (ensure/erase) during for_each/scan are not
+// supported — the engine's scans only mutate the states themselves, never
+// membership (arrivals and departures enter through the driver between
+// events).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "core/qip_node.hpp"
+#include "net/node_id.hpp"
+#include "util/assert.hpp"
+
+namespace qip {
+
+class NodeTable {
+ public:
+  QipNodeState* find(NodeId id) {
+    const std::uint32_t slot = slot_of(id);
+    return slot == kNpos ? nullptr : &slab_[slot];
+  }
+  const QipNodeState* find(NodeId id) const {
+    const std::uint32_t slot = slot_of(id);
+    return slot == kNpos ? nullptr : &slab_[slot];
+  }
+
+  bool contains(NodeId id) const { return slot_of(id) != kNpos; }
+  std::size_t size() const { return live_; }
+
+  QipNodeState& at(NodeId id) {
+    QipNodeState* st = find(id);
+    QIP_ASSERT_MSG(st != nullptr, "unknown node " << id);
+    return *st;
+  }
+  const QipNodeState& at(NodeId id) const {
+    const QipNodeState* st = find(id);
+    QIP_ASSERT_MSG(st != nullptr, "unknown node " << id);
+    return *st;
+  }
+
+  /// State for `id`, creating a fresh slot if absent.  Returns
+  /// (state, created) — the try_emplace shape node_entered wants.
+  std::pair<QipNodeState&, bool> ensure(NodeId id) {
+    if (QipNodeState* st = find(id)) return {*st, false};
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slab_.size());
+      slab_.emplace_back();
+      slot_ids_.push_back(kNoNode);
+    }
+    slot_ids_[slot] = id;
+    if (std::size_t{id} >= rank_.size()) {
+      rank_.resize(std::size_t{id} + 1, kNpos);
+    }
+    rank_[id] = slot;
+    iter_ids_.push_back(id);
+    iter_dirty_ = true;
+    ++live_;
+    return {slab_[slot], true};
+  }
+
+  bool erase(NodeId id) {
+    const std::uint32_t slot = slot_of(id);
+    if (slot == kNpos) return false;
+    slab_[slot] = QipNodeState{};  // release container payloads now
+    slot_ids_[slot] = kNoNode;
+    rank_[id] = kNpos;
+    free_.push_back(slot);
+    iter_dirty_ = true;  // lazy: the dead id filters out on the next sweep
+    --live_;
+    return true;
+  }
+
+  /// fn(id, state) for every node in ascending id order.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    refresh_iter();
+    for (NodeId id : iter_ids_) fn(id, slab_[rank_[id]]);
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    refresh_iter();
+    for (NodeId id : iter_ids_) fn(id, slab_[rank_[id]]);
+  }
+
+  /// Like for_each, but fn returns bool; true stops the scan (the
+  /// one-boundary-per-tick merge scan's early return).
+  template <typename Fn>
+  void scan(Fn&& fn) const {
+    refresh_iter();
+    for (NodeId id : iter_ids_) {
+      if (fn(id, slab_[rank_[id]])) return;
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kNpos =
+      static_cast<std::uint32_t>(-1);
+
+  std::uint32_t slot_of(NodeId id) const {
+    if (std::size_t{id} >= rank_.size()) return kNpos;
+    return rank_[id];
+  }
+
+  void refresh_iter() const {
+    if (!iter_dirty_) return;
+    // Drop departed ids (rank kNpos) and re-entry duplicates, then sort:
+    // one O(m log m) pass per membership-change batch, amortized across
+    // every scan until the next arrival/departure.
+    std::sort(iter_ids_.begin(), iter_ids_.end());
+    iter_ids_.erase(std::unique(iter_ids_.begin(), iter_ids_.end()),
+                    iter_ids_.end());
+    iter_ids_.erase(
+        std::remove_if(iter_ids_.begin(), iter_ids_.end(),
+                       [&](NodeId id) { return slot_of(id) == kNpos; }),
+        iter_ids_.end());
+    iter_dirty_ = false;
+  }
+
+  std::deque<QipNodeState> slab_;      // slot -> state (stable references)
+  std::vector<NodeId> slot_ids_;       // slot -> id (kNoNode when free)
+  std::vector<std::uint32_t> rank_;    // id -> slot (dense direct index)
+  std::vector<std::uint32_t> free_;    // recyclable slots
+  mutable std::vector<NodeId> iter_ids_;  // live ids, lazily sorted
+  mutable bool iter_dirty_ = false;
+  std::size_t live_ = 0;
+};
+
+}  // namespace qip

@@ -24,10 +24,10 @@ void QipEngine::node_departing(NodeId id) {
 }
 
 void QipEngine::node_left(NodeId id) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end()) return;
-  it->second.cancel_timers();
-  nodes_.erase(it);
+  QipNodeState* st = nodes_.find(id);
+  if (st == nullptr) return;
+  st->cancel_timers();
+  nodes_.erase(id);
   clusters_.remove(id);
   // Transactions this node was coordinating die with it; their requestors
   // retry through the failure path.

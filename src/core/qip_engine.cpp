@@ -123,8 +123,8 @@ bool QipEngine::quorum_critical(QipMsg m) {
 }
 
 std::uint64_t QipEngine::audit_domain(NodeId id) const {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end()) return 0;
+  const QipNodeState* st = nodes_.find(id);
+  if (st == nullptr) return 0;
   // A quarantined peer was expelled by the hardened protocol: the network
   // revoked its claim, so whatever address it keeps squatting on no longer
   // collides *as far as the protocol's service is concerned*.  A per-node
@@ -132,7 +132,7 @@ std::uint64_t QipEngine::audit_domain(NodeId id) const {
   if (quarantined_.count(id) != 0) {
     return 0xAD5E'0000'0000'0000ULL ^ static_cast<std::uint64_t>(id);
   }
-  const NetworkId& nid = it->second.network_id;
+  const NetworkId& nid = st->network_id;
   // Two healed partitions share a nonce but disagree on the low address
   // until the merge resolves, so both fields feed the tag.
   return (static_cast<std::uint64_t>(nid.low.value()) << 32) ^
@@ -141,7 +141,7 @@ std::uint64_t QipEngine::audit_domain(NodeId id) const {
 
 QipEngine::~QipEngine() {
   hello_timer_.cancel();
-  for (auto& [id, st] : nodes_) st.cancel_timers();
+  nodes_.for_each([](NodeId, QipNodeState& st) { st.cancel_timers(); });
   for (auto& [id, txn] : txns_) {
     txn.retry_timer.cancel();
     txn.round_timer.cancel();
@@ -149,17 +149,9 @@ QipEngine::~QipEngine() {
   for (auto& [id, rec] : reclaims_) rec.settle_timer.cancel();
 }
 
-QipNodeState& QipEngine::node(NodeId id) {
-  auto it = nodes_.find(id);
-  QIP_ASSERT_MSG(it != nodes_.end(), "unknown node " << id);
-  return it->second;
-}
+QipNodeState& QipEngine::node(NodeId id) { return nodes_.at(id); }
 
-const QipNodeState& QipEngine::node(NodeId id) const {
-  auto it = nodes_.find(id);
-  QIP_ASSERT_MSG(it != nodes_.end(), "unknown node " << id);
-  return it->second;
-}
+const QipNodeState& QipEngine::node(NodeId id) const { return nodes_.at(id); }
 
 const QipNodeState& QipEngine::state_of(NodeId id) const { return node(id); }
 
@@ -176,36 +168,17 @@ void QipEngine::trace(QipMsg msg, NodeId from, NodeId to, std::uint32_t hops,
   trace_(TraceEvent{sim().now(), msg, from, to, hops, detail});
 }
 
-bool QipEngine::send(NodeId from, NodeId to, QipMsg msg, Traffic traffic,
-                     std::uint64_t hops_base,
-                     std::function<void(std::uint64_t)> fn,
-                     const std::string& detail) {
-  auto deliver = [this, hops_base,
-                  fn = std::move(fn)](NodeId, std::uint32_t d) {
-    fn(hops_base + d);
-  };
-  // Quorum-critical RPCs ride the reliable channel; under the paper's
-  // reliable model (no active fault plan) it is a plain unicast either way.
-  const auto hops =
-      quorum_critical(msg)
-          ? channel_.send(from, to, traffic, std::move(deliver))
-          : transport().unicast(from, to, traffic, std::move(deliver));
-  if (!hops) return false;
-  trace(msg, from, to, *hops, detail);
-  return true;
-}
-
 // ---------------------------------------------------------------------------
 // Entry
 // ---------------------------------------------------------------------------
 
 void QipEngine::node_entered(NodeId id) {
   QIP_ASSERT_MSG(topology().has_node(id), "node " << id << " not placed");
-  auto [it, fresh] = nodes_.try_emplace(id);
+  auto [st, fresh] = nodes_.ensure(id);
   if (!fresh) {
     // Re-entry (merge rejoin): reset to unconfigured, keep the slot.
-    it->second.cancel_timers();
-    it->second = QipNodeState{};
+    st.cancel_timers();
+    st = QipNodeState{};
     clusters_.remove(id);
   }
   auto& rec = record_for(id);
@@ -590,11 +563,18 @@ void QipEngine::start_quorum_round(ConfigTxn& txn) {
 
   // The replica group for `owner`'s space: the owner plus its QDSet.  When
   // the allocator owns the space that is its own QDSet; when borrowing, the
-  // group comes from the replica's owner_qdset snapshot.
-  std::set<NodeId> group;
+  // group comes from the replica's owner_qdset snapshot.  Built in a reused
+  // sorted scratch vector — rounds run on every allocation, and a per-round
+  // std::set was one tree-node allocation per member (docs/SCALE.md).
+  auto& group = round_group_;
+  const auto insert_sorted = [&group](NodeId v) {
+    const auto it = std::lower_bound(group.begin(), group.end(), v);
+    if (it == group.end() || *it != v) group.insert(it, v);
+  };
+  group.clear();
   if (txn.owner == txn.allocator) {
-    group = a.qdset;
-    group.insert(txn.allocator);
+    group.assign(a.qdset.begin(), a.qdset.end());  // set order = sorted
+    insert_sorted(txn.allocator);
   } else {
     auto rep_it = a.replicas.find(txn.owner);
     if (rep_it == a.replicas.end()) {
@@ -603,22 +583,22 @@ void QipEngine::start_quorum_round(ConfigTxn& txn) {
       round_failed(txn, /*conflict=*/true);
       return;
     }
-    group = rep_it->second.owner_qdset;
-    group.insert(txn.owner);
-    group.insert(txn.allocator);  // we hold a copy too
+    group.assign(rep_it->second.owner_qdset.begin(),
+                 rep_it->second.owner_qdset.end());
+    insert_sorted(txn.owner);
+    insert_sorted(txn.allocator);  // we hold a copy too
   }
   // Hardened mode: expelled peers hold no vote — the revocation was itself
   // a network-wide decision, so every honest allocator excludes the same
   // set and quorum intersection is preserved.  (No-op while nobody is
   // quarantined, which is always the case without an adversary.)
-  for (auto it = group.begin(); it != group.end();) {
-    if (*it != txn.allocator && is_quarantined(*it))
-      it = group.erase(it);
-    else
-      ++it;
-  }
+  group.erase(std::remove_if(group.begin(), group.end(),
+                             [&](NodeId v) {
+                               return v != txn.allocator && is_quarantined(v);
+                             }),
+              group.end());
   txn.group_size = static_cast<std::uint32_t>(group.size());
-  txn.distinguished = *group.begin();  // lowest-id member (set is ordered)
+  txn.distinguished = group.front();  // lowest-id member (kept sorted)
   txn.distinguished_ok = (txn.distinguished == txn.allocator);
 
   // Our own copy always votes yes (the lock was taken in propose_next).
@@ -1375,41 +1355,41 @@ void QipEngine::push_snapshot(NodeId source, const ReplicaCopy& snapshot,
 double QipEngine::average_qdset_size() const {
   double sum = 0;
   std::size_t n = 0;
-  for (const auto& [id, st] : nodes_) {
-    if (st.role != Role::kClusterHead) continue;
+  nodes_.for_each([&](NodeId, const QipNodeState& st) {
+    if (st.role != Role::kClusterHead) return;
     sum += static_cast<double>(st.qdset.size());
     ++n;
-  }
+  });
   return n ? sum / static_cast<double>(n) : 0.0;
 }
 
 double QipEngine::average_visible_space() const {
   double sum = 0;
   std::size_t n = 0;
-  for (const auto& [id, st] : nodes_) {
-    if (st.role != Role::kClusterHead) continue;
+  nodes_.for_each([&](NodeId, const QipNodeState& st) {
+    if (st.role != Role::kClusterHead) return;
     sum += static_cast<double>(st.visible_free());
     ++n;
-  }
+  });
   return n ? sum / static_cast<double>(n) : 0.0;
 }
 
 double QipEngine::average_own_space() const {
   double sum = 0;
   std::size_t n = 0;
-  for (const auto& [id, st] : nodes_) {
-    if (st.role != Role::kClusterHead) continue;
+  nodes_.for_each([&](NodeId, const QipNodeState& st) {
+    if (st.role != Role::kClusterHead) return;
     sum += static_cast<double>(st.ip_space.size());
     ++n;
-  }
+  });
   return n ? sum / static_cast<double>(n) : 0.0;
 }
 
 std::map<NodeId, IpAddress> QipEngine::configured_addresses() const {
   std::map<NodeId, IpAddress> out;
-  for (const auto& [id, st] : nodes_) {
+  nodes_.for_each([&](NodeId id, const QipNodeState& st) {
     if (st.ip) out.emplace(id, *st.ip);
-  }
+  });
   return out;
 }
 

@@ -40,6 +40,7 @@
 #include <set>
 
 #include "cluster/cluster_view.hpp"
+#include "core/node_table.hpp"
 #include "core/qip_node.hpp"
 #include "core/qip_params.hpp"
 #include "core/qip_types.hpp"
@@ -72,9 +73,9 @@ class QipEngine : public AutoconfProtocol {
   /// address without re-running the entry flow, so the record's address can
   /// go stale while the node legitimately holds a different one.
   std::optional<IpAddress> address_of(NodeId id) const override {
-    auto it = nodes_.find(id);
-    if (it == nodes_.end()) return std::nullopt;
-    return it->second.ip;
+    const QipNodeState* st = nodes_.find(id);
+    if (st == nullptr) return std::nullopt;
+    return st->ip;
   }
 
   // -- Introspection (tests, figures) --------------------------------------
@@ -83,7 +84,7 @@ class QipEngine : public AutoconfProtocol {
   /// (vote tallying, maintenance quorate checks, hardened cross-checks).
   const QuorumPolicy& policy() const { return quorum_policy(params_.quorum); }
   const ClusterView& clusters() const { return clusters_; }
-  bool knows(NodeId id) const { return nodes_.count(id) != 0; }
+  bool knows(NodeId id) const { return nodes_.contains(id); }
   const QipNodeState& state_of(NodeId id) const;
 
   /// Average |QDSet| over current cluster heads (Fig. 12 input).
@@ -152,9 +153,10 @@ class QipEngine : public AutoconfProtocol {
   // ---- helpers -----------------------------------------------------------
   QipNodeState& node(NodeId id);
   const QipNodeState& node(NodeId id) const;
-  bool alive(NodeId id) const { return nodes_.count(id) != 0; }
+  bool alive(NodeId id) const { return nodes_.contains(id); }
   bool is_head(NodeId id) const {
-    return alive(id) && nodes_.at(id).role == Role::kClusterHead;
+    const QipNodeState* st = nodes_.find(id);
+    return st != nullptr && st->role == Role::kClusterHead;
   }
 
   void trace(QipMsg msg, NodeId from, NodeId to, std::uint32_t hops,
@@ -162,10 +164,28 @@ class QipEngine : public AutoconfProtocol {
 
   /// Metered unicast carrying cumulative critical-path hops; returns false
   /// when unreachable.  `fn` runs at the receiver with total path hops.
+  /// Templated so the receiver closure lands directly in the transport's
+  /// small-buffer Receiver — no std::function box per send.  `this` is
+  /// deliberately not captured: hops_base + a typical `this`-plus-ids
+  /// handler fits ReceiverFn's 32-byte inline buffer exactly.
+  template <typename F>
   bool send(NodeId from, NodeId to, QipMsg msg, Traffic traffic,
-            std::uint64_t hops_base,
-            std::function<void(std::uint64_t total_hops)> fn,
-            const std::string& detail = "");
+            std::uint64_t hops_base, F&& fn, const std::string& detail = "") {
+    Transport::Receiver deliver =
+        [hops_base, fn = std::forward<F>(fn)](NodeId,
+                                              std::uint32_t d) mutable {
+          fn(hops_base + d);
+        };
+    // Quorum-critical RPCs ride the reliable channel; under the paper's
+    // reliable model (no active fault plan) it is a plain unicast either way.
+    const auto hops =
+        quorum_critical(msg)
+            ? channel_.send(from, to, traffic, std::move(deliver))
+            : transport().unicast(from, to, traffic, std::move(deliver));
+    if (!hops) return false;
+    trace(msg, from, to, *hops, detail);
+    return true;
+  }
 
   // ---- entry & configuration (qip_engine.cpp) ----------------------------
   void begin_bootstrap(NodeId id);
@@ -302,13 +322,18 @@ class QipEngine : public AutoconfProtocol {
   QipParams params_;
   ReliableChannel channel_;
   ClusterView clusters_;
-  std::map<NodeId, QipNodeState> nodes_;
+  /// SoA-style slab keyed by dense rank (docs/SCALE.md): O(1) lookup and
+  /// contiguous ascending-id scans, replacing a std::map tree walk.
+  NodeTable nodes_;
   std::map<std::uint64_t, ConfigTxn> txns_;
   std::map<NodeId, ReclaimTxn> reclaims_;
   /// Cooldown: last time a reclamation for this head was attempted, so a
   /// blocked (minority) reclamation is not retried every failed allocation.
   std::map<NodeId, SimTime> reclaim_attempted_;
   std::uint64_t next_txn_ = 1;
+  /// Reused quorum-round scratch: the voting group under construction
+  /// (sorted; cleared per round, capacity retained — docs/SCALE.md).
+  std::vector<NodeId> round_group_;
   std::uint64_t config_failures_ = 0;
   std::uint64_t config_successes_ = 0;
   std::uint64_t reclaims_started_ = 0;

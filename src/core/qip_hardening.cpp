@@ -53,7 +53,7 @@ bool QipEngine::attack_active(NodeId id, AttackKind kind) const {
 bool QipEngine::serves_probes(NodeId id) const {
   if (!alive(id) || !topology().has_node(id)) return false;
   if (!transport().radio_up(id)) return false;
-  const auto& st = nodes_.at(id);
+  const QipNodeState& st = nodes_.at(id);
   if (st.role == Role::kUnconfigured) return false;
   // The defining trait of silent defection: beacons continue, service stops.
   return !attack_active(id, AttackKind::kSilentDefection);
@@ -109,19 +109,19 @@ bool QipEngine::perform_squat(NodeId attacker) {
   // network id carrier, which maximises the blast radius.
   NodeId victim = kNoNode;
   std::optional<IpAddress> stolen;
-  for (const auto& [id, other] : nodes_) {
-    if (id == attacker || !other.ip) continue;
-    if (other.role == Role::kUnconfigured) continue;
-    if (!topology().has_node(id)) continue;
+  nodes_.for_each([&](NodeId id, const QipNodeState& other) {
+    if (id == attacker || !other.ip) return;
+    if (other.role == Role::kUnconfigured) return;
+    if (!topology().has_node(id)) return;
     // A realistic squatter learned the address from beacons it can hear:
     // the victim must be in the attacker's component (it is also what makes
     // the duplicate observable — cross-component conflicts are legitimate).
-    if (!topology().reachable(attacker, id)) continue;
+    if (!topology().reachable(attacker, id)) return;
     if (!stolen || *other.ip < *stolen) {
       stolen = other.ip;
       victim = id;
     }
-  }
+  });
   if (!stolen) return false;
 
   // No quorum round, no allocator, no table update anywhere: the squatter
@@ -181,16 +181,16 @@ void QipEngine::perform_poison(NodeId attacker) {
 
 void QipEngine::detect_squats(NodeId head) {
   auto& st = node(head);
-  for (const auto& [id, other] : nodes_) {
-    if (id == head || !other.ip || is_quarantined(id)) continue;
-    if (other.role == Role::kUnconfigured) continue;
-    if (!topology().has_node(id)) continue;
+  nodes_.for_each([&](NodeId id, const QipNodeState& other) {
+    if (id == head || !other.ip || is_quarantined(id)) return;
+    if (other.role == Role::kUnconfigured) return;
+    if (!topology().has_node(id)) return;
     // Only same-network claims within the beacon horizon: cross-network
     // duplicates are legitimate pending merges (§V-C), and a head cannot
     // hear hellos from beyond ch_radius.
-    if (!(other.network_id == st.network_id)) continue;
+    if (!(other.network_id == st.network_id)) return;
     const auto d = topology().hop_distance(head, id);
-    if (!d || *d > params_.ch_radius) continue;
+    if (!d || *d > params_.ch_radius) return;
 
     const IpAddress addr = *other.ip;
     // What do our authoritative table / replicas bind this address to?
@@ -207,16 +207,16 @@ void QipEngine::detect_squats(NodeId head) {
         break;
       }
     }
-    if (!known || rec.status != AddressStatus::kAllocated) continue;
+    if (!known || rec.status != AddressStatus::kAllocated) return;
     const NodeId holder = rec.holder;
-    if (holder == id) continue;  // the claim matches our record: honest
+    if (holder == id) return;  // the claim matches our record: honest
     // Our record could be the stale side (the claimant reconfigured
     // elsewhere).  Challenge only when the recorded holder still answers
     // for the address — then two live nodes claim it and one is lying.
     if (!alive(holder) || !node(holder).ip || !(*node(holder).ip == addr))
-      continue;
+      return;
     challenge_claim(head, id, addr);
-  }
+  });
 }
 
 void QipEngine::challenge_claim(NodeId head, NodeId claimant, IpAddress addr) {
@@ -293,7 +293,7 @@ void QipEngine::quarantine(NodeId accuser, NodeId culprit, const char* why) {
 
   // Revocation broadcast: the expulsion must reach every honest node, or
   // quorum groups would disagree on who may vote.  Charged like any flood.
-  transport().flood_component(accuser, Traffic::kMaintenance,
+  transport().flood_component_view(accuser, Traffic::kMaintenance,
                               [](NodeId, std::uint32_t) {});
 
   // The culprit keeps running (it is an attacker, not a crash), but the
@@ -301,7 +301,8 @@ void QipEngine::quarantine(NodeId accuser, NodeId culprit, const char* why) {
   // future voting group and watch-list, audited in its own domain.
   clusters_.remove(culprit);
   if (detector_) detector_->forget(culprit);
-  for (auto& [id, s] : nodes_) s.suspicion.erase(culprit);
+  nodes_.for_each(
+      [&](NodeId, QipNodeState& s) { s.suspicion.erase(culprit); });
 }
 
 // ---------------------------------------------------------------------------

@@ -40,9 +40,9 @@ void QipEngine::hello_tick() {
   // their own category and excluded from the paper's overhead figures (all
   // compared protocols beacon equivalently).
   std::uint64_t beacons = 0;
-  for (const auto& [id, st] : nodes_) {
+  nodes_.for_each([&](NodeId id, const QipNodeState& st) {
     if (st.role != Role::kUnconfigured && topology().has_node(id)) ++beacons;
-  }
+  });
   if (beacons > 0) {
     transport().stats().record(Traffic::kHello, beacons, beacons);
     if (ctx().tracing_on()) {
@@ -64,16 +64,16 @@ void QipEngine::hello_tick() {
   // merge storm, allocator died mid-handshake) tries again once its last
   // attempt is stale.  Hello reception is what tells it the network is
   // there to join.
-  for (auto& [id, st] : nodes_) {
-    if (st.role != Role::kUnconfigured || !topology().has_node(id)) continue;
-    if (st.bootstrap_timer.pending()) continue;
+  nodes_.for_each([&](NodeId id, QipNodeState& st) {
+    if (st.role != Role::kUnconfigured || !topology().has_node(id)) return;
+    if (st.bootstrap_timer.pending()) return;
     // Stale means older than a full transaction timeout: rescuing earlier
     // could start a second transaction for a request still in flight.
     if (sim().now() - st.last_entry_attempt < params_.txn_timeout + 2.0)
-      continue;
+      return;
     st.entry_retries = 0;
     start_configuration(id);
-  }
+  });
 }
 
 void QipEngine::refresh_network_ids() {
@@ -119,8 +119,8 @@ void QipEngine::on_mobility_tick() {
 // ---------------------------------------------------------------------------
 
 void QipEngine::location_update_scan() {
-  for (auto& [id, st] : nodes_) {
-    if (st.role != Role::kCommonNode || !topology().has_node(id)) continue;
+  nodes_.for_each([&](NodeId id, QipNodeState& st) {
+    if (st.role != Role::kCommonNode || !topology().has_node(id)) return;
     const NodeId anchor =
         st.administrator != kNoNode ? st.administrator : st.configurer;
     bool too_far = true;
@@ -128,9 +128,9 @@ void QipEngine::location_update_scan() {
       const auto d = topology().hop_distance(id, anchor);
       too_far = !d || *d > params_.update_threshold;
     }
-    if (!too_far) continue;
+    if (!too_far) return;
     const auto nearest = clusters_.nearest_head(id);
-    if (!nearest || *nearest == anchor || !alive(*nearest)) continue;
+    if (!nearest || *nearest == anchor || !alive(*nearest)) return;
     const NodeId c = *nearest;
     const NodeId configurer = st.configurer;
     st.administrator = c;
@@ -139,7 +139,7 @@ void QipEngine::location_update_scan() {
            if (!is_head(c)) return;
            node(c).administered[id] = configurer;
          });
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -393,7 +393,7 @@ void QipEngine::start_reclamation(NodeId initiator, NodeId dead_head) {
   // ADDR_REC floods the initiator's neighborhood (reclamation is local,
   // §VI-E); every common node configured (or administered) by the dead head
   // claims its address via REC_REP.
-  transport().flood(
+  transport().flood_view(
       initiator, params_.reclaim_radius, Traffic::kReclamation,
       [this, dead_head](NodeId receiver, std::uint32_t hops) {
         if (!alive(receiver)) return;

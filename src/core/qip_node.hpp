@@ -35,6 +35,11 @@ struct SpaceLock {
 };
 
 struct QipNodeState {
+  // Hot plane: the scalars every per-tick scan reads (hello beacons,
+  // location updates, merge boundaries) lead the struct so a scan over the
+  // NodeTable slab touches the first cache line only; the cluster-head
+  // containers below are the cold plane, reached just for heads
+  // (docs/SCALE.md).
   Role role = Role::kUnconfigured;
   std::optional<IpAddress> ip;
 

@@ -19,8 +19,9 @@ void QipEngine::merge_scan() {
   // (distinct epoch nonces) merge by dissolving the larger-id network; two
   // sides of one healed pool (same nonce) reconcile in place — their
   // address blocks are fragments of the same space and must not evaporate.
-  for (const auto& [id, st] : nodes_) {
-    if (st.role == Role::kUnconfigured || !topology().has_node(id)) continue;
+  nodes_.scan([&](NodeId id, const QipNodeState& st) {
+    if (st.role == Role::kUnconfigured || !topology().has_node(id))
+      return false;
     for (NodeId nb : topology().neighbors_view(id)) {
       if (!alive(nb)) continue;
       const auto& other = node(nb);
@@ -48,21 +49,22 @@ void QipEngine::merge_scan() {
             !st.owned_universe.disjoint_with(other.owned_universe);
         if (same_ip || stale_claim || overlap) {
           heal_partition(id);
-          return;
+          return true;
         }
         continue;
       }
       if (other.network_id.nonce == st.network_id.nonce) {
         heal_partition(id);
-        return;
+        return true;
       }
       const NetworkId winner = std::min(st.network_id, other.network_id);
       const NetworkId loser = std::max(st.network_id, other.network_id);
       const NodeId detector = st.network_id == winner ? id : nb;
       absorb_network(detector, winner, loser);
-      return;
+      return true;
     }
-  }
+    return false;
+  });
 }
 
 void QipEngine::heal_partition(NodeId detector) {
@@ -78,7 +80,7 @@ void QipEngine::heal_partition(NodeId detector) {
     ctx().recorder().instant(sim().now(), "partition_heal",
                                            "cluster", detector);
   }
-  transport().flood_component(detector, Traffic::kPartition,
+  transport().flood_component_view(detector, Traffic::kPartition,
                               [](NodeId, std::uint32_t) {});
   trace(QipMsg::kMergePoll, detector, kNoNode, 0, "partition heal");
 
@@ -214,18 +216,18 @@ void QipEngine::absorb_network(NodeId detector, NetworkId winner_id,
     reachable.insert(comp.begin(), comp.end());
   }
   std::vector<NodeId> losers;
-  for (const auto& [id, st] : nodes_) {
-    if (st.role == Role::kUnconfigured) continue;
+  nodes_.for_each([&](NodeId id, const QipNodeState& st) {
+    if (st.role == Role::kUnconfigured) return;
     if (st.network_id == loser_id && reachable.count(id))
       losers.push_back(id);
-  }
+  });
   if (losers.empty()) return;
   if (ctx().tracing_on()) {
     ctx().recorder().instant(
         sim().now(), "network_merge", "cluster", detector,
         {{"losers", static_cast<std::uint64_t>(losers.size())}});
   }
-  transport().flood_component(detector, Traffic::kPartition,
+  transport().flood_component_view(detector, Traffic::kPartition,
                               [](NodeId, std::uint32_t) {});
   trace(QipMsg::kMergePoll, detector, kNoNode, 0, "merge flood");
 

@@ -65,6 +65,26 @@ std::uint64_t parse_u64(const char* what, const char* text) {
   return static_cast<std::uint64_t>(v);
 }
 
+bool parse_bool(const char* what, const char* text) {
+  if (text != nullptr) {
+    if (std::strcmp(text, "on") == 0 || std::strcmp(text, "1") == 0 ||
+        std::strcmp(text, "true") == 0) {
+      return true;
+    }
+    if (std::strcmp(text, "off") == 0 || std::strcmp(text, "0") == 0 ||
+        std::strcmp(text, "false") == 0) {
+      return false;
+    }
+  }
+  die(what, text ? text : "", "on/off, 1/0 or true/false");
+}
+
+bool env_bool(const char* name, bool fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  return parse_bool(name, env);
+}
+
 std::uint32_t env_positive_u32(const char* name, std::uint32_t fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr) return fallback;

@@ -1,0 +1,227 @@
+// Small-buffer copyable callable for message delivery receivers.
+//
+// Transport used to type its Receiver as std::function<void(NodeId,
+// uint32_t)>.  Every unicast built one, every flood recipient copied it, and
+// almost every capture (a `this` pointer plus a couple of ids) exceeded
+// libstdc++'s inline buffer — one heap allocation per delivery on the
+// simulator's hottest path.  ReceiverFn is the copyable sibling of
+// sim/event_fn.hpp's EventFn with a 32-byte inline buffer, sized so the
+// delivery closure Transport schedules (this + to + hops + ReceiverFn = 56
+// bytes) still fits EventFn's 64-byte inline buffer: an inline-capture
+// receiver costs ZERO allocations from send to delivery.  Oversized captures
+// fall back to the per-thread capture arena (sim/arena.hpp), which recycles
+// blocks instead of hitting operator new.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "net/node_id.hpp"
+#include "sim/arena.hpp"
+
+namespace qip {
+
+class ReceiverFn {
+ public:
+  /// Inline capture budget: `this` plus two or three ids covers every
+  /// receiver lambda in the engines and baselines.  Pointer alignment (not
+  /// max_align_t) keeps sizeof(ReceiverFn) at 40 so Transport's delivery
+  /// closure stays within EventFn's inline buffer; over-aligned captures
+  /// simply take the arena path.
+  static constexpr std::size_t kInlineSize = 32;
+  static constexpr std::size_t kInlineAlign = alignof(void*);
+
+  ReceiverFn() = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, ReceiverFn> &&
+                std::is_invocable_r_v<void, D&, NodeId, std::uint32_t>>>
+  ReceiverFn(F&& f) {  // NOLINT(google-explicit-constructor) — drop-in for
+                       // std::function at every send call site.
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = inline_ops<D>();
+    } else {
+      void* p = CaptureArena::instance().allocate(sizeof(D));
+      set_heap(::new (p) D(std::forward<F>(f)));
+      ops_ = heap_ops<D>();
+    }
+  }
+
+  ReceiverFn(const ReceiverFn& other) { copy_from(other); }
+
+  ReceiverFn& operator=(const ReceiverFn& other) {
+    if (this != &other) {
+      reset();
+      copy_from(other);
+    }
+    return *this;
+  }
+
+  ReceiverFn(ReceiverFn&& other) noexcept { move_from(other); }
+
+  ReceiverFn& operator=(ReceiverFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  ~ReceiverFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()(NodeId receiver, std::uint32_t hops) {
+    ops_->invoke(target(), receiver, hops);
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(target());
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*, NodeId, std::uint32_t);
+    /// nullptr for trivially-destructible inline captures.
+    void (*destroy)(void*);
+    /// Copy-constructs src's callable into dst.  nullptr for
+    /// trivially-copyable inline captures — the dominant case — where
+    /// copy_from() does a raw buffer copy with no indirect call.
+    void (*copy)(ReceiverFn& dst, const ReceiverFn& src);
+    /// Move-constructs into dst and destroys the source representation.
+    /// nullptr alongside a null copy op (raw buffer copy suffices).
+    void (*relocate)(ReceiverFn& dst, ReceiverFn& src);
+    /// true when the capture lives in the arena (target() reads a pointer
+    /// out of the buffer instead of pointing at it).
+    bool heap;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  void* heap_ptr() const {
+    void* p;
+    __builtin_memcpy(&p, buf_, sizeof(p));
+    return p;
+  }
+
+  void set_heap(void* p) { __builtin_memcpy(buf_, &p, sizeof(p)); }
+
+  void* target() {
+    return ops_ != nullptr && ops_->heap ? heap_ptr()
+                                         : static_cast<void*>(buf_);
+  }
+
+  void copy_from(const ReceiverFn& other) {
+    if (other.ops_ != nullptr) {
+      if (other.ops_->copy != nullptr) {
+        other.ops_->copy(*this, other);
+      } else {
+        __builtin_memcpy(buf_, other.buf_, kInlineSize);
+        ops_ = other.ops_;
+      }
+    }
+  }
+
+  void move_from(ReceiverFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      if (other.ops_->relocate != nullptr) {
+        other.ops_->relocate(*this, other);
+      } else {
+        __builtin_memcpy(buf_, other.buf_, kInlineSize);
+        ops_ = other.ops_;
+        other.ops_ = nullptr;
+      }
+    }
+  }
+
+  template <typename D>
+  static void invoke_as(void* p, NodeId receiver, std::uint32_t hops) {
+    (*static_cast<D*>(p))(receiver, hops);
+  }
+
+  template <typename D>
+  static void destroy_inline(void* p) {
+    static_cast<D*>(p)->~D();
+  }
+
+  template <typename D>
+  static void destroy_heap(void* p) {
+    static_cast<D*>(p)->~D();
+    CaptureArena::instance().deallocate(p, sizeof(D));
+  }
+
+  template <typename D>
+  static void copy_inline(ReceiverFn& dst, const ReceiverFn& src) {
+    const D* s = static_cast<const D*>(
+        static_cast<const void*>(src.buf_));
+    ::new (static_cast<void*>(dst.buf_)) D(*s);
+    dst.ops_ = src.ops_;
+  }
+
+  template <typename D>
+  static void copy_heap(ReceiverFn& dst, const ReceiverFn& src) {
+    void* p = CaptureArena::instance().allocate(sizeof(D));
+    dst.set_heap(::new (p) D(*static_cast<const D*>(src.heap_ptr())));
+    dst.ops_ = src.ops_;
+  }
+
+  template <typename D>
+  static void relocate_inline(ReceiverFn& dst, ReceiverFn& src) {
+    D* s = static_cast<D*>(static_cast<void*>(src.buf_));
+    ::new (static_cast<void*>(dst.buf_)) D(std::move(*s));
+    s->~D();
+    dst.ops_ = src.ops_;
+    src.ops_ = nullptr;
+  }
+
+  static void relocate_heap(ReceiverFn& dst, ReceiverFn& src) {
+    __builtin_memcpy(dst.buf_, src.buf_, sizeof(void*));
+    dst.ops_ = src.ops_;
+    src.ops_ = nullptr;
+  }
+
+  template <typename D>
+  static constexpr bool trivial_inline() {
+    return std::is_trivially_copyable_v<D> &&
+           std::is_trivially_destructible_v<D>;
+  }
+
+  template <typename D>
+  static const Ops* inline_ops() {
+    if constexpr (trivial_inline<D>()) {
+      static constexpr Ops kOps = {&invoke_as<D>, nullptr, nullptr, nullptr,
+                                   false};
+      return &kOps;
+    } else {
+      static constexpr Ops kOps = {&invoke_as<D>, &destroy_inline<D>,
+                                   &copy_inline<D>, &relocate_inline<D>,
+                                   false};
+      return &kOps;
+    }
+  }
+
+  template <typename D>
+  static const Ops* heap_ops() {
+    static constexpr Ops kOps = {&invoke_as<D>, &destroy_heap<D>,
+                                 &copy_heap<D>, &relocate_heap, true};
+    return &kOps;
+  }
+
+  alignas(kInlineAlign) unsigned char buf_[kInlineSize] = {};
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace qip

@@ -120,7 +120,7 @@ void ReliableChannel::on_data(std::uint64_t seq, std::uint32_t hops) {
   const NodeId from = it->second.from;
   const NodeId to = it->second.to;
   const Traffic traffic = it->second.traffic;
-  const Receiver deliver = it->second.on_deliver;
+  Receiver deliver = it->second.on_deliver;
   // Ack every copy (the previous ack may have been the loss), then deliver
   // to the application at most once.  As with retransmissions, the ack only
   // lands in MessageStats when it actually routed (and was thus charged).

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "harness/env.hpp"
+
 namespace qip {
 
 namespace {
@@ -26,18 +28,26 @@ Topology::Topology(Rect area, double transmission_range)
       cache_enabled_(cache_enabled_from_env()),
       cache_(transmission_range) {
   QIP_ASSERT(transmission_range > 0.0);
+  // Strict parse (exit 2 on a typo): a misspelled escape hatch silently
+  // running the wrong code path is exactly what strictness prevents.
+  cache_.set_incremental_enabled(env_bool("QIP_TOPO_INCR", true));
 }
 
 void Topology::add_node(NodeId id, const Point& pos) {
   QIP_ASSERT_MSG(area_.contains(pos), "position outside simulation area");
   index_.insert(id, pos);
+  cache_.note_add(id, pos);
 }
 
-void Topology::remove_node(NodeId id) { index_.remove(id); }
+void Topology::remove_node(NodeId id) {
+  index_.remove(id);
+  cache_.note_remove(id);
+}
 
 void Topology::move_node(NodeId id, const Point& pos) {
   QIP_ASSERT_MSG(area_.contains(pos), "position outside simulation area");
   index_.move(id, pos);
+  cache_.note_move(id, pos);
 }
 
 std::vector<NodeId> Topology::all_nodes() const {

@@ -56,6 +56,30 @@ class Topology {
   bool cache_enabled() const { return cache_enabled_; }
   void set_cache_enabled(bool on) { cache_enabled_ = on; }
 
+  /// Incremental CSR/components maintenance switch, default on
+  /// (QIP_TOPO_INCR=off forces full rebuilds — the escape hatch for
+  /// bisecting a suspected patch bug; malformed values exit(2),
+  /// docs/SCALE.md).  Toggling at any time is safe: both paths produce
+  /// identical snapshots.
+  bool incremental_enabled() const { return cache_.incremental_enabled(); }
+  void set_incremental_enabled(bool on) {
+    cache_.set_incremental_enabled(on);
+  }
+
+  /// Maintenance counters for the differential tests and fig_metro phase
+  /// reports: how often the snapshot was patched vs rebuilt, and how often
+  /// a components repair ran vs bailed to a rebuild.
+  std::uint64_t csr_full_rebuilds() const { return cache_.full_rebuilds(); }
+  std::uint64_t csr_incremental_patches() const {
+    return cache_.incremental_patches();
+  }
+  std::uint64_t component_repairs() const {
+    return cache_.component_repairs();
+  }
+  std::uint64_t component_repair_bailouts() const {
+    return cache_.repair_bailouts();
+  }
+
   /// Binds the cache's rebuild ProfileScopes to `ctx` (null: the process
   /// context).  Called by World; behavior-invariant either way.
   void set_context(SimContext* ctx) { cache_.set_context(ctx); }
@@ -104,6 +128,25 @@ class Topology {
     const auto src = graph.rank_of(from);
     QIP_ASSERT(src.has_value());
     cache_.bfs(graph, *src, TopologyCache::kUnreached,
+               [&](std::uint32_t r, std::uint32_t d) { fn(graph.ids[r], d); });
+  }
+
+  /// Depth-bounded for_each_reachable: visits every node within `max_depth`
+  /// hops of `from` (including `from` at hop 0) in BFS discovery order.
+  /// The workhorse of expanding-ring searches (ClusterView::nearest_head):
+  /// a bounded BFS costs the ring, not the component.
+  template <typename Fn>
+  void for_each_within(NodeId from, std::uint32_t max_depth, Fn&& fn) const {
+    QIP_ASSERT(has_node(from));
+    if (!cache_enabled_) {
+      bfs_uncached(from, max_depth,
+                   [&](NodeId n, std::uint32_t d) { fn(n, d); });
+      return;
+    }
+    const auto& graph = cache_.csr(index_);
+    const auto src = graph.rank_of(from);
+    QIP_ASSERT(src.has_value());
+    cache_.bfs(graph, *src, max_depth,
                [&](std::uint32_t r, std::uint32_t d) { fn(graph.ids[r], d); });
   }
 

@@ -39,7 +39,7 @@ bool Transport::can_transmit(NodeId id) const {
 void Transport::schedule_delivery(NodeId to, std::uint32_t hops, SimTime extra,
                                   Receiver on_deliver) {
   sim_.post(static_cast<SimTime>(hops) * per_hop_delay_ + extra,
-             [this, to, hops, fn = std::move(on_deliver)]() {
+             [this, to, hops, fn = std::move(on_deliver)]() mutable {
                // The destination may have departed while the message was in
                // flight; a vanished radio hears nothing.
                if (!topology_.has_node(to)) {
@@ -67,7 +67,7 @@ void Transport::schedule_delivery(NodeId to, std::uint32_t hops, SimTime extra,
 
 void Transport::deliver_later(NodeId from, NodeId to, std::uint32_t hops,
                               Receiver on_deliver) {
-  QIP_ASSERT(on_deliver != nullptr);
+  QIP_ASSERT(static_cast<bool>(on_deliver));
   if (faults_active()) {
     const auto fate = faults_->judge(from, to, sim_.now());
     if (ctx().tracing_on()) {
@@ -105,25 +105,30 @@ std::optional<std::uint32_t> Transport::unicast(NodeId from, NodeId to,
   return hops;
 }
 
-std::vector<NodeId> Transport::local_broadcast(NodeId from, Traffic t,
-                                               Receiver on_deliver) {
-  if (!can_transmit(from)) return {};
-  auto heard = topology_.neighbors(from);
+const std::vector<NodeId>& Transport::local_broadcast_view(
+    NodeId from, Traffic t, Receiver on_deliver) {
+  reached_.clear();
+  if (!can_transmit(from)) return reached_;
+  const auto& heard = topology_.neighbors_view(from);
+  reached_.assign(heard.begin(), heard.end());
   stats_.record(t, 1);  // one transmission regardless of audience size
   if (ctx().tracing_on()) {
     ctx().recorder().instant(
         sim_.now(), "bcast", "net", from,
         {{"traffic", to_string(t)},
          {"hops", std::uint32_t{1}},
-         {"heard", static_cast<std::uint64_t>(heard.size())}});
+         {"heard", static_cast<std::uint64_t>(reached_.size())}});
   }
-  for (NodeId n : heard) deliver_later(from, n, 1, on_deliver);
-  return heard;
+  for (NodeId n : reached_) deliver_later(from, n, 1, on_deliver);
+  return reached_;
 }
 
-std::vector<NodeId> Transport::flood(NodeId from, std::uint32_t radius,
-                                     Traffic t, Receiver on_deliver) {
-  if (!can_transmit(from)) return {};
+const std::vector<NodeId>& Transport::flood_view(NodeId from,
+                                                 std::uint32_t radius,
+                                                 Traffic t,
+                                                 Receiver on_deliver) {
+  reached_.clear();
+  if (!can_transmit(from)) return reached_;
   QIP_ASSERT(radius >= 1);
   obs::ProfileScope prof("transport_flood", ctx().recorder(), ctx().metrics());
   const auto& in_range = topology_.k_hop_view(from, radius);
@@ -140,18 +145,18 @@ std::vector<NodeId> Transport::flood(NodeId from, std::uint32_t radius,
          {"hops", transmissions},
          {"reached", static_cast<std::uint64_t>(in_range.size())}});
   }
-  std::vector<NodeId> reached;
-  reached.reserve(in_range.size());
+  reached_.reserve(in_range.size());
   for (const auto& [node, d] : in_range) {
-    reached.push_back(node);
+    reached_.push_back(node);
     deliver_later(from, node, d, on_deliver);
   }
-  return reached;
+  return reached_;
 }
 
-std::vector<NodeId> Transport::flood_component(NodeId from, Traffic t,
-                                               Receiver on_deliver) {
-  if (!can_transmit(from)) return {};
+const std::vector<NodeId>& Transport::flood_component_view(
+    NodeId from, Traffic t, Receiver on_deliver) {
+  reached_.clear();
+  if (!can_transmit(from)) return reached_;
   // The cached components partition answers "is the sender alone?" without
   // a BFS; the flood radius then costs one BFS over the same cached
   // adjacency snapshot.
@@ -165,10 +170,10 @@ std::vector<NodeId> Transport::flood_component(NodeId from, Traffic t,
            {"hops", std::uint32_t{1}},
            {"reached", std::uint32_t{0}}});
     }
-    return {};
+    return reached_;
   }
   const std::uint32_t ecc = topology_.eccentricity(from);
-  return flood(from, ecc, t, std::move(on_deliver));
+  return flood_view(from, ecc, t, std::move(on_deliver));
 }
 
 }  // namespace qip

@@ -16,13 +16,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <vector>
 
 #include "fault/fault_injector.hpp"
 #include "net/metrics.hpp"
 #include "net/node_id.hpp"
+#include "net/receiver_fn.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
 
@@ -39,7 +39,9 @@ namespace qip {
 class Transport {
  public:
   /// Called at the receiver; `hops` is the distance the message travelled.
-  using Receiver = std::function<void(NodeId receiver, std::uint32_t hops)>;
+  /// A small-buffer callable (net/receiver_fn.hpp): inline captures ride the
+  /// scheduler's inline buffer too, so a delivery allocates nothing.
+  using Receiver = ReceiverFn;
 
   Transport(Simulator& sim, Topology& topology, MessageStats& stats,
             SimTime per_hop_delay = 0.002);
@@ -70,18 +72,36 @@ class Transport {
   /// Single transmission heard by all current one-hop neighbors.  Returns
   /// the neighbors reached.  Cost: 1 transmission.
   std::vector<NodeId> local_broadcast(NodeId from, Traffic t,
-                                      Receiver on_deliver);
+                                      Receiver on_deliver) {
+    return local_broadcast_view(from, t, std::move(on_deliver));
+  }
 
   /// Scoped flood to every node within `radius` hops.  Returns the nodes
   /// reached (excluding the sender).  Cost: 1 + |nodes within radius-1 hops|
   /// transmissions.
   std::vector<NodeId> flood(NodeId from, std::uint32_t radius, Traffic t,
-                            Receiver on_deliver);
+                            Receiver on_deliver) {
+    return flood_view(from, radius, t, std::move(on_deliver));
+  }
 
   /// Network-wide flood (the MANETconf configuration primitive): reaches the
   /// whole connected component of `from`; every member transmits once.
   std::vector<NodeId> flood_component(NodeId from, Traffic t,
-                                      Receiver on_deliver);
+                                      Receiver on_deliver) {
+    return flood_component_view(from, t, std::move(on_deliver));
+  }
+
+  // Zero-copy variants for callers that only inspect the reached set (or
+  // ignore it): the returned reference aliases a member scratch vector that
+  // the NEXT broadcast/flood call overwrites.  Deliveries are scheduled, not
+  // run inline, so the view is stable until the caller issues another
+  // transmission — do not flood again while iterating it (docs/SCALE.md).
+  const std::vector<NodeId>& local_broadcast_view(NodeId from, Traffic t,
+                                                  Receiver on_deliver);
+  const std::vector<NodeId>& flood_view(NodeId from, std::uint32_t radius,
+                                        Traffic t, Receiver on_deliver);
+  const std::vector<NodeId>& flood_component_view(NodeId from, Traffic t,
+                                                  Receiver on_deliver);
 
   /// Hop distance on the current topology (charging nothing).
   std::optional<std::uint32_t> hops_between(NodeId a, NodeId b) const {
@@ -111,6 +131,8 @@ class Transport {
   MessageStats& stats_;
   SimTime per_hop_delay_;
   FaultInjector* faults_ = nullptr;
+  /// Reached-set scratch backing the *_view variants (reused per call).
+  std::vector<NodeId> reached_;
 };
 
 }  // namespace qip

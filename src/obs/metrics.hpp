@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/flat_hash.hpp"
+
 namespace qip::obs {
 
 using Labels = std::vector<std::pair<std::string, std::string>>;
@@ -59,6 +61,13 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   void observe(double v);
+
+  /// Opt-in streaming percentile mode: attaches a reservoir (see
+  /// StreamingReservoir below) that quantile() prefers over bucket
+  /// interpolation.  Off by default so existing exposition is unchanged.
+  void enable_reservoir(std::size_t capacity = 512);
+  bool reservoir_enabled() const { return reservoir_ != nullptr; }
+
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double min() const { return count_ ? min_ : 0.0; }
@@ -81,12 +90,73 @@ class Histogram {
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  std::unique_ptr<class StreamingReservoir> reservoir_;  ///< null = bucket mode
 };
 
 /// Exponential bucket bounds for latencies in seconds: 1 µs … ~131 s.
 std::vector<double> latency_buckets_s();
 /// Exponential bucket bounds for wall-clock durations in microseconds.
 std::vector<double> duration_buckets_us();
+
+/// Fixed-size uniform sample of a stream (Vitter's algorithm R) for
+/// percentile estimates that do not depend on bucket boundaries.  Bucketed
+/// histograms answer quantiles by interpolating inside the winning bucket —
+/// fine at microsecond granularity, coarse for long-tailed metro-scale
+/// series where one bucket spans a 2x range.  The reservoir keeps `k`
+/// observations chosen uniformly from the whole stream in O(1) per observe
+/// and O(k log k) per quantile query (snapshot time only).
+///
+/// Replacement uses a self-seeded xorshift generator, NOT the simulation
+/// RNG: sampling draws must never perturb protocol randomness, and a fixed
+/// seed keeps reports reproducible run-to-run.
+class StreamingReservoir {
+ public:
+  explicit StreamingReservoir(std::size_t capacity = 512)
+      : capacity_(capacity) {
+    sample_.reserve(capacity);
+  }
+
+  void observe(double v) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(v);
+      return;
+    }
+    // Keep with probability k/seen: classic algorithm R.
+    const std::uint64_t j = next_rand() % seen_;
+    if (j < capacity_) sample_[static_cast<std::size_t>(j)] = v;
+  }
+
+  /// Quantile over the current sample (exact for streams <= capacity).
+  double quantile(double q) const;
+
+  std::uint64_t seen() const { return seen_; }
+  std::size_t sample_size() const { return sample_.size(); }
+
+  void reset() {
+    sample_.clear();
+    seen_ = 0;
+    state_ = kSeed;
+  }
+
+  /// Folds another reservoir's sample in, re-weighting by streams seen.
+  void merge_from(const StreamingReservoir& other);
+
+ private:
+  static constexpr std::uint64_t kSeed = 0x9e3779b97f4a7c15ULL;
+
+  std::uint64_t next_rand() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+
+  std::size_t capacity_;
+  std::vector<double> sample_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t state_ = kSeed;
+};
 
 class MetricsRegistry {
  public:
@@ -97,6 +167,19 @@ class MetricsRegistry {
   /// `bounds` is consulted only when the series is created.
   Histogram& histogram(std::string_view name, const Labels& labels = {},
                        std::vector<double> bounds = latency_buckets_s());
+
+  /// Interned handle for a `profile_us{site=...}` histogram, keyed by the
+  /// site literal's ADDRESS: after the first call per site the hot path is
+  /// one flat-hash probe — no label vector, no key string, no std::map walk
+  /// (those only happen on the miss, and map_lookups() counts them so
+  /// bench/micro_obs can pin the steady state at zero).  Two literals with
+  /// equal text but different addresses intern to the same series.
+  Histogram& profile_histogram(const char* site);
+
+  /// Slow-path (string-keyed std::map) lookups performed so far.  Interned
+  /// accessors only bump this on a cache miss; counter()/gauge()/histogram()
+  /// bump it every call.
+  std::uint64_t map_lookups() const { return map_lookups_; }
 
   /// Zeroes every series, keeping all handles valid (scenario reuse:
   /// protocol_faceoff resets between runs).
@@ -124,6 +207,9 @@ class MetricsRegistry {
   Series& at(std::string_view name, const Labels& labels);
 
   std::map<std::string, Series> series_;
+  /// site-literal address -> interned profile series (see profile_histogram).
+  FlatHashMap<std::uintptr_t, Histogram*> profile_cache_;
+  std::uint64_t map_lookups_ = 0;
 };
 
 /// The process-wide registry: what tools and examples export by default, and

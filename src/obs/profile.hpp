@@ -39,9 +39,9 @@ class ProfileScope {
     if (site_ == nullptr) return;
     const double dur = recorder_.wall_now_us() - start_us_;
     recorder_.complete_wall(site_, "profile", start_us_, dur);
-    metrics_
-        .histogram("profile_us", {{"site", site_}}, duration_buckets_us())
-        .observe(dur);
+    // Interned by the site literal's address: no label vector, key string,
+    // bounds vector, or map walk after the first observation per site.
+    metrics_.profile_histogram(site_).observe(dur);
   }
 
   ProfileScope(const ProfileScope&) = delete;

@@ -5,14 +5,16 @@
 // allocation per event on the hottest path in the simulator.  EventFn keeps
 // a 64-byte aligned inline buffer — enough for every timer lambda in the
 // protocol engines (a `this` pointer plus a couple of ids) — and only falls
-// back to the heap for oversized or throwing-move captures, so steady-state
-// scheduling allocates nothing.
+// back to the per-thread capture arena (sim/arena.hpp) for oversized or
+// throwing-move captures, so steady-state scheduling allocates nothing.
 #pragma once
 
 #include <cstddef>
 #include <new>
 #include <type_traits>
 #include <utility>
+
+#include "sim/arena.hpp"
 
 namespace qip {
 
@@ -35,7 +37,8 @@ class EventFn {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
       ops_ = inline_ops<D>();
     } else {
-      heap_ = new D(std::forward<F>(f));
+      void* p = CaptureArena::instance().allocate(sizeof(D));
+      heap_ = ::new (p) D(std::forward<F>(f));
       ops_ = heap_ops<D>();
     }
   }
@@ -121,7 +124,8 @@ class EventFn {
 
   template <typename D>
   static void destroy_heap(void* p) {
-    delete static_cast<D*>(p);
+    static_cast<D*>(p)->~D();
+    CaptureArena::instance().deallocate(p, sizeof(D));
   }
 
   template <typename D>

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 
 #include "geom/point.hpp"
@@ -284,6 +285,107 @@ TEST(TopologyDifferential, MatchesOracleUnderMobilityTrace) {
       ASSERT_EQ(seq_c, seq_p) << "iteration order diverged at step " << step;
     }
   }
+}
+
+// A typo'd QIP_TOPO_INCR must not silently pick a code path: the escape
+// hatch is parsed strictly (src/harness/env.hpp), so "offf" is a hard
+// exit 2, not a fallback to either mode.
+TEST(TopologyEnvDeathTest, MalformedIncrSwitchExitsTwo) {
+  setenv("QIP_TOPO_INCR", "offf", 1);
+  EXPECT_EXIT(Topology(Rect{100.0, 100.0}, 30.0),
+              ::testing::ExitedWithCode(2), "invalid QIP_TOPO_INCR");
+  setenv("QIP_TOPO_INCR", "2", 1);
+  EXPECT_EXIT(Topology(Rect{100.0, 100.0}, 30.0),
+              ::testing::ExitedWithCode(2), "invalid QIP_TOPO_INCR");
+  // The documented spellings parse.
+  setenv("QIP_TOPO_INCR", "off", 1);
+  { Topology t(Rect{100.0, 100.0}, 30.0); }
+  setenv("QIP_TOPO_INCR", "on", 1);
+  { Topology t(Rect{100.0, 100.0}, 30.0); }
+  unsetenv("QIP_TOPO_INCR");
+}
+
+TEST(TopologyDifferential, IncrementalMatchesOracleOverLongChurn) {
+  // 10k churn steps (adds, removes — including burst departures that sever
+  // paths through the removed nodes — and moves) against the O(n^2) oracle
+  // and against a QIP_TOPO_INCR=off twin that full-rebuilds every epoch.
+  // Components are compared exactly every step; k-hop sets and BFS
+  // discovery order are sampled.  This is the long-haul guard for the
+  // incremental CSR patch + components repair (docs/SCALE.md).
+  const double range = 180.0;
+  const Rect area{1000.0, 1000.0};
+  Rng rng(0x10c4);
+  Topology incr(area, range);
+  incr.set_incremental_enabled(true);
+  Topology full(area, range);
+  full.set_incremental_enabled(false);
+  OracleMap pts;
+  std::map<NodeId, Point> dest;
+  NodeId next_id = 0;
+
+  const auto add = [&](const Point& p) {
+    incr.add_node(next_id, p);
+    full.add_node(next_id, p);
+    pts[next_id] = p;
+    dest[next_id] = area.sample(rng);
+    ++next_id;
+  };
+  const auto remove = [&](NodeId id) {
+    incr.remove_node(id);
+    full.remove_node(id);
+    dest.erase(id);
+    pts.erase(id);
+  };
+  const auto random_id = [&] {
+    return std::next(pts.begin(),
+                     static_cast<std::ptrdiff_t>(rng.index(pts.size())))
+        ->first;
+  };
+  for (int i = 0; i < 48; ++i) add(area.sample(rng));
+
+  for (int step = 0; step < 10000; ++step) {
+    for (auto& [id, p] : pts) {
+      if (p == dest[id]) dest[id] = area.sample(rng);
+      p = advance(p, dest[id], 20.0);
+      incr.move_node(id, p);
+      full.move_node(id, p);
+    }
+    if (rng.chance(0.15)) add(area.sample(rng));
+    if (rng.chance(0.15) && pts.size() > 16) remove(random_id());
+    if (rng.chance(0.01)) {
+      // Burst departure: severing several nodes at once exercises the
+      // repair's transitive-split detection (fragments that were only
+      // connected through the departed nodes).
+      for (int i = 0; i < 6 && pts.size() > 16; ++i) remove(random_id());
+    }
+
+    // Exact components vs the oracle, every step.
+    ASSERT_EQ(incr.components(), oracle_components(pts, range))
+        << "step " << step;
+    ASSERT_EQ(incr.components_view(), full.components_view())
+        << "step " << step;
+
+    // Sampled adjacency, k-hop sets, and BFS discovery order.
+    const NodeId a = random_id();
+    ASSERT_EQ(incr.neighbors(a), oracle_neighbors(pts, a, range))
+        << "step " << step << " node " << a;
+    const auto k = static_cast<std::uint32_t>(1 + rng.index(3));
+    ASSERT_EQ(incr.k_hop_neighbors(a, k), oracle_k_hop(pts, a, k, range))
+        << "step " << step << " node " << a << " k " << k;
+    std::vector<std::pair<NodeId, std::uint32_t>> order_incr, order_full;
+    incr.for_each_reachable(
+        a, [&](NodeId n, std::uint32_t d) { order_incr.emplace_back(n, d); });
+    full.for_each_reachable(
+        a, [&](NodeId n, std::uint32_t d) { order_full.emplace_back(n, d); });
+    ASSERT_EQ(order_incr, order_full)
+        << "BFS discovery order diverged at step " << step;
+  }
+
+  // The incremental path must actually have been exercised: patches should
+  // dwarf full rebuilds over 10k steps.
+  EXPECT_GT(incr.csr_incremental_patches(), incr.csr_full_rebuilds());
+  EXPECT_GT(incr.component_repairs(), 0u);
+  EXPECT_EQ(full.csr_incremental_patches(), 0u);
 }
 
 // ---------------------------------------------------------------------------

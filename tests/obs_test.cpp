@@ -355,6 +355,75 @@ TEST(Metrics, HistogramQuantilesAndRender) {
   for (std::size_t i = 1; i < dur.size(); ++i) EXPECT_GT(dur[i], dur[i - 1]);
 }
 
+TEST(Metrics, ProfileHandlesInternBySiteAddress) {
+  obs::MetricsRegistry reg;
+  static const char* kSite = "topo_rebuild";
+  auto& h1 = reg.profile_histogram(kSite);
+  const std::uint64_t warm = reg.map_lookups();
+  // Steady state: same handle back, and ZERO string-keyed map walks — the
+  // ProfileScope exit path must stay O(1) per observation.
+  for (int i = 0; i < 1000; ++i) {
+    auto& h = reg.profile_histogram(kSite);
+    EXPECT_EQ(&h, &h1);
+    h.observe(static_cast<double>(i));
+  }
+  EXPECT_EQ(reg.map_lookups(), warm);
+  EXPECT_EQ(h1.count(), 1000u);
+
+  // The interned series is the ordinary profile_us{site=...} series: the
+  // string-keyed accessor resolves to the same histogram.
+  auto& via_map =
+      reg.histogram("profile_us", {{"site", kSite}}, obs::duration_buckets_us());
+  EXPECT_EQ(&via_map, &h1);
+  EXPECT_GT(reg.map_lookups(), warm);  // ...and that slow path was counted
+
+  // A different site literal interns a distinct series.
+  static const char* kOther = "transport_flood";
+  EXPECT_NE(&reg.profile_histogram(kOther), &h1);
+}
+
+TEST(Metrics, StreamingReservoirQuantiles) {
+  // Exact below capacity: the sample IS the stream.
+  obs::StreamingReservoir small(128);
+  for (int i = 1; i <= 100; ++i) small.observe(static_cast<double>(i));
+  EXPECT_EQ(small.seen(), 100u);
+  EXPECT_EQ(small.sample_size(), 100u);
+  EXPECT_DOUBLE_EQ(small.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(small.quantile(1.0), 100.0);
+  EXPECT_NEAR(small.quantile(0.5), 50.0, 1.0);
+
+  // Sampled above capacity: uniform-ish, deterministic across runs.
+  obs::StreamingReservoir big(256);
+  obs::StreamingReservoir twin(256);
+  for (int i = 0; i < 100000; ++i) {
+    const double v = static_cast<double>(i % 1000);
+    big.observe(v);
+    twin.observe(v);
+  }
+  EXPECT_EQ(big.seen(), 100000u);
+  EXPECT_EQ(big.sample_size(), 256u);
+  EXPECT_NEAR(big.quantile(0.5), 500.0, 150.0);
+  EXPECT_DOUBLE_EQ(big.quantile(0.5), twin.quantile(0.5));
+  EXPECT_DOUBLE_EQ(big.quantile(0.99), twin.quantile(0.99));
+}
+
+TEST(Metrics, HistogramReservoirModeSharpensQuantiles) {
+  // One wide bucket: interpolation can only guess inside [100, 10000]; the
+  // reservoir answers from actual observations.
+  obs::MetricsRegistry reg;
+  auto& h = reg.histogram("wide", {}, {100.0, 10000.0});
+  h.enable_reservoir(512);
+  EXPECT_TRUE(h.reservoir_enabled());
+  for (int i = 0; i < 400; ++i) h.observe(150.0);
+  for (int i = 0; i < 10; ++i) h.observe(9000.0);
+  EXPECT_NEAR(h.quantile(0.5), 150.0, 1e-9);
+  EXPECT_EQ(h.count(), 410u);
+  // reset clears the sample too.
+  h.reset();
+  h.observe(42.0);
+  EXPECT_NEAR(h.quantile(0.5), 42.0, 1e-9);
+}
+
 TEST(Metrics, MessageStatsExportConverges) {
   obs::MetricsRegistry reg;
   MessageStats stats;

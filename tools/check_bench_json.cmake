@@ -36,6 +36,11 @@
 #     tools/qip-campaign --protocols qip,dad --nodes 6 --seeds 2 --duration 1 \
 #         --out /tmp/campaign-baseline --quiet
 #     and copy /tmp/campaign-baseline/BENCH_campaign.json to the repo root
+#   * BENCH_metro.json — the metropolis "city day" run (docs/SCALE.md);
+#     regenerate with
+#     QIP_METRO_NODES=100000 QIP_BENCH_JSON=BENCH_metro.json bench/fig_metro
+#     Wall-clock and RSS numbers are machine-dependent; the gates below check
+#     scale, coverage, and the allocation/topology invariants, not timings.
 if(NOT DEFINED JSON_FILE OR NOT DEFINED KIND)
   message(FATAL_ERROR
       "check_bench_json.cmake needs -DJSON_FILE=... and -DKIND=...")
@@ -256,8 +261,92 @@ elseif(KIND STREQUAL "campaign")
     endif()
   endforeach()
   message(STATUS "${JSON_FILE}: ${n_cells}/${n_total} cells done — OK")
+elseif(KIND STREQUAL "metro")
+  require_key(bench "bench")
+  if(NOT bench STREQUAL "fig_metro")
+    message(FATAL_ERROR "${JSON_FILE}: bench = '${bench}', expected "
+        "'fig_metro'")
+  endif()
+  require_key(nodes "nodes")
+  if(nodes LESS 100000)
+    message(FATAL_ERROR "${JSON_FILE}: nodes = ${nodes} — the committed "
+        "baseline must be the metropolis run (>= 100000)")
+  endif()
+  # The four city-day phases, in order, each with the full schema.  Timings
+  # and RSS are machine-dependent and not gated; scale and coverage are.
+  string(JSON n_phases ERROR_VARIABLE err LENGTH "${doc}" "phases")
+  if(err OR NOT n_phases EQUAL 4)
+    message(FATAL_ERROR "${JSON_FILE}: expected 4 phases, got "
+        "'${n_phases}': ${err}")
+  endif()
+  set(expected_phases flash_crowd drift departure plateau)
+  math(EXPR last "${n_phases} - 1")
+  foreach(i RANGE ${last})
+    foreach(key name wall_s peak_rss_mib events allocs allocs_per_event
+                configured)
+      string(JSON v ERROR_VARIABLE err GET "${doc}" "phases" ${i} "${key}")
+      if(err)
+        message(FATAL_ERROR "${JSON_FILE}: phases[${i}] lacks '${key}': "
+            "${err}")
+      endif()
+    endforeach()
+    string(JSON pname GET "${doc}" "phases" ${i} "name")
+    list(GET expected_phases ${i} expected)
+    if(NOT pname STREQUAL expected)
+      message(FATAL_ERROR "${JSON_FILE}: phases[${i}] is '${pname}', "
+          "expected '${expected}'")
+    endif()
+  endforeach()
+  # The flash crowd must actually form a network: >= 95% configured.
+  string(JSON crowd_configured GET "${doc}" "phases" 0 "configured")
+  math(EXPR threshold "${nodes} * 95 / 100")
+  if(crowd_configured LESS ${threshold})
+    message(FATAL_ERROR "${JSON_FILE}: only ${crowd_configured}/${nodes} "
+        "configured after the flash crowd (< 95%)")
+  endif()
+  # The quiescent plateau must stay within the allocation budget.  The hard
+  # zero-alloc gates live on the scheduler/transport micro counters
+  # (BENCH_event_queue.json); here the whole engine — maintenance scans and
+  # all — must average below 20 operator-new calls per simulator event.
+  string(JSON plateau_allocs GET "${doc}" "phases" 3 "allocs_per_event")
+  string(REGEX REPLACE "\\..*$" "" plateau_int "${plateau_allocs}")
+  if(NOT plateau_int MATCHES "^[0-9]+$")
+    message(FATAL_ERROR "${JSON_FILE}: plateau allocs_per_event "
+        "'${plateau_allocs}' unparsable")
+  endif()
+  if(plateau_int GREATER_EQUAL 20)
+    message(FATAL_ERROR "${JSON_FILE}: plateau allocs_per_event = "
+        "${plateau_allocs} — the steady state busted the allocation budget")
+  endif()
+  # The incremental connectivity path must carry the run: mobility and churn
+  # patch the CSR in place instead of rebuilding it.
+  string(JSON patches ERROR_VARIABLE err GET "${doc}" "topo"
+      "incremental_patches")
+  if(err)
+    message(FATAL_ERROR "${JSON_FILE}: missing topo.incremental_patches: "
+        "${err}")
+  endif()
+  string(JSON rebuilds GET "${doc}" "topo" "full_rebuilds")
+  math(EXPR rebuild_budget "${rebuilds} * 100")
+  if(patches EQUAL 0 OR patches LESS ${rebuild_budget})
+    message(FATAL_ERROR "${JSON_FILE}: ${patches} incremental patches vs "
+        "${rebuilds} full rebuilds — the incremental path is not carrying "
+        "the run")
+  endif()
+  # The capture arena must be recycling blocks, not carving forever.
+  string(JSON reused ERROR_VARIABLE err GET "${doc}" "arena" "blocks_reused")
+  if(err)
+    message(FATAL_ERROR "${JSON_FILE}: missing arena.blocks_reused: ${err}")
+  endif()
+  if(reused EQUAL 0)
+    message(FATAL_ERROR "${JSON_FILE}: arena reused no blocks — the "
+        "free-list recycling is dead")
+  endif()
+  message(STATUS "${JSON_FILE}: n=${nodes}, ${crowd_configured} configured, "
+      "plateau allocs/event ${plateau_allocs}, ${patches} patches / "
+      "${rebuilds} rebuilds — OK")
 else()
   message(FATAL_ERROR
       "unknown KIND '${KIND}' (expected adversary, micro, event_queue, "
-      "quorum or campaign)")
+      "quorum, campaign or metro)")
 endif()
